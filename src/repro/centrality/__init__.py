@@ -1,0 +1,24 @@
+"""Centrality measures used for hub selection (paper Section 5.1).
+
+* :func:`~repro.centrality.degree.degree_centrality` backs the
+  *Degree First* hub-selection strategy;
+* :func:`~repro.centrality.closeness.closeness_centrality` (exact) and
+  :func:`~repro.centrality.closeness.approximate_closeness_centrality`
+  (sampled, following Eppstein-Wang style estimation as cited by the paper)
+  back the *Closeness First* strategy.
+"""
+
+from repro.centrality.degree import degree_centrality, nodes_by_degree
+from repro.centrality.closeness import (
+    closeness_centrality,
+    approximate_closeness_centrality,
+    nodes_by_closeness,
+)
+
+__all__ = [
+    "degree_centrality",
+    "nodes_by_degree",
+    "closeness_centrality",
+    "approximate_closeness_centrality",
+    "nodes_by_closeness",
+]

@@ -1,0 +1,40 @@
+"""Degree centrality.
+
+The paper's *Degree First* hub-selection strategy picks the vertices with the
+highest out-degree, reasoning that high-degree vertices are more likely to be
+reverse k-ranks results of many queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.graph.graph import Graph
+
+NodeId = Hashable
+
+__all__ = ["degree_centrality", "nodes_by_degree"]
+
+
+def degree_centrality(graph: Graph, normalized: bool = True) -> Dict[NodeId, float]:
+    """Out-degree centrality for every node.
+
+    Parameters
+    ----------
+    graph:
+        The graph.
+    normalized:
+        When ``True`` (default) degrees are divided by ``|V| - 1`` so values
+        lie in ``[0, 1]``.
+    """
+    denominator = max(graph.num_nodes - 1, 1) if normalized else 1
+    return {node: graph.out_degree(node) / denominator for node in graph.nodes()}
+
+
+def nodes_by_degree(graph: Graph, descending: bool = True) -> List[NodeId]:
+    """Nodes sorted by out-degree (ties broken by node repr for determinism)."""
+    return sorted(
+        graph.nodes(),
+        key=lambda node: (graph.out_degree(node), repr(node)),
+        reverse=descending,
+    )

@@ -1,0 +1,62 @@
+"""The paper's contribution: reverse k-ranks query processing on graphs.
+
+Public entry points
+-------------------
+* :class:`~repro.core.engine.ReverseKRanksEngine` — facade that owns a graph
+  (plus optional bichromatic partition and hub index) and answers queries
+  with any of the algorithms;
+* :func:`~repro.core.naive.naive_reverse_k_ranks` — the brute-force baseline
+  of Section 2;
+* :func:`~repro.core.sds_static.static_reverse_k_ranks` — the filter-and-
+  refine framework on the static SDS-tree (Section 3);
+* :func:`~repro.core.sds_dynamic.dynamic_reverse_k_ranks` — the Dynamic
+  Bounded SDS-tree (Section 4);
+* :func:`~repro.core.sds_indexed.indexed_reverse_k_ranks` — the Dynamic
+  Bounded SDS-tree paired with the hub index (Section 5);
+* :class:`~repro.core.hub_index.HubIndex` — the Check Dictionary / Reverse
+  Rank Dictionary index;
+* :func:`~repro.core.reverse_topk.reverse_top_k` and
+  :func:`~repro.core.topk.top_k_nodes` — the competitor queries used in the
+  effectiveness study (Section 6.2).
+"""
+
+from repro.core.types import RankedNode, QueryResult, QueryStats
+from repro.core.config import BoundSet, AlgorithmKind
+from repro.core.naive import naive_reverse_k_ranks
+from repro.core.sds_static import static_reverse_k_ranks
+from repro.core.sds_dynamic import dynamic_reverse_k_ranks
+from repro.core.sds_indexed import indexed_reverse_k_ranks
+from repro.core.hubs import HubSelectionStrategy, select_hubs
+from repro.core.hub_index import HubIndex
+from repro.core.reverse_topk import reverse_top_k, reverse_top_k_all_sizes
+from repro.core.topk import top_k_nodes, agreement_rate
+from repro.core.bichromatic import (
+    bichromatic_naive_reverse_k_ranks,
+    bichromatic_reverse_k_ranks,
+)
+from repro.core.engine import ReverseKRanksEngine
+from repro.core.validation import results_equivalent, validate_against_naive
+
+__all__ = [
+    "RankedNode",
+    "QueryResult",
+    "QueryStats",
+    "BoundSet",
+    "AlgorithmKind",
+    "naive_reverse_k_ranks",
+    "static_reverse_k_ranks",
+    "dynamic_reverse_k_ranks",
+    "indexed_reverse_k_ranks",
+    "HubSelectionStrategy",
+    "select_hubs",
+    "HubIndex",
+    "reverse_top_k",
+    "reverse_top_k_all_sizes",
+    "top_k_nodes",
+    "agreement_rate",
+    "bichromatic_reverse_k_ranks",
+    "bichromatic_naive_reverse_k_ranks",
+    "ReverseKRanksEngine",
+    "results_equivalent",
+    "validate_against_naive",
+]

@@ -1,0 +1,87 @@
+"""Algorithm configuration: bound sets and algorithm identifiers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["BoundSet", "AlgorithmKind"]
+
+
+@dataclass(frozen=True)
+class BoundSet:
+    """Which components of the Theorem-2 lower bound are active.
+
+    The paper evaluates four combinations (Section 6.3.2):
+
+    * ``Dynamic-Parent`` — parent rank only;
+    * ``Dynamic-Count``  — parent rank + visit count (``lcount``);
+    * ``Dynamic-Height`` — parent rank + tree depth;
+    * ``Dynamic-Three``  — all three.
+
+    The *parent* bound is the backbone of the framework (it is what makes
+    Theorem 1 pruning possible), so it is part of every preset.  The *count*
+    bound is automatically disabled on directed graphs and in bichromatic
+    mode because Lemma 3 / Lemma 4 do not hold there (see the paper's
+    footnote 1 and DESIGN.md).
+    """
+
+    use_parent: bool = True
+    use_height: bool = True
+    use_count: bool = True
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def none() -> "BoundSet":
+        """No dynamic bounds at all — this is the *static* SDS-tree."""
+        return BoundSet(use_parent=False, use_height=False, use_count=False)
+
+    @staticmethod
+    def parent_only() -> "BoundSet":
+        """``Dynamic-Parent`` of Table 12/13."""
+        return BoundSet(use_parent=True, use_height=False, use_count=False)
+
+    @staticmethod
+    def parent_and_count() -> "BoundSet":
+        """``Dynamic-Count`` of Table 12/13."""
+        return BoundSet(use_parent=True, use_height=False, use_count=True)
+
+    @staticmethod
+    def parent_and_height() -> "BoundSet":
+        """``Dynamic-Height`` of Table 12/13."""
+        return BoundSet(use_parent=True, use_height=True, use_count=False)
+
+    @staticmethod
+    def all() -> "BoundSet":
+        """``Dynamic-Three`` (the default of the dynamic and indexed methods)."""
+        return BoundSet(use_parent=True, use_height=True, use_count=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def any_active(self) -> bool:
+        """Whether at least one bound component is active."""
+        return self.use_parent or self.use_height or self.use_count
+
+    def label(self) -> str:
+        """Human-readable label matching the paper's naming."""
+        if not self.any_active:
+            return "Static"
+        if self.use_height and self.use_count:
+            return "Dynamic-Three"
+        if self.use_height:
+            return "Dynamic-Height"
+        if self.use_count:
+            return "Dynamic-Count"
+        return "Dynamic-Parent"
+
+
+class AlgorithmKind(str, enum.Enum):
+    """Identifiers of the reverse k-ranks algorithms exposed by the engine."""
+
+    NAIVE = "naive"
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    INDEXED = "indexed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,354 @@
+"""The shared filter-and-refine SDS-tree traversal.
+
+All three of the paper's algorithms — the static SDS-tree (Section 3), the
+Dynamic Bounded SDS-tree (Section 4) and the indexed variant (Section 5) —
+share the same skeleton:
+
+1. run a Dijkstra search *towards* the query node ``q`` (i.e. on the
+   transpose graph), settling candidate nodes in increasing order of their
+   distance ``d(p, q)``;
+2. for each settled node decide, using ever-tighter information, whether its
+   rank must be refined;
+3. refine with :func:`~repro.core.refinement.refine_rank`, bounded by the
+   current ``kRank``;
+4. expand a node's tree children only when the node can still be (or is) a
+   result — Theorem 1 guarantees that the children of a non-result cannot be
+   results either.
+
+:class:`SDSTreeSearch` implements that skeleton once, parameterised by a
+:class:`~repro.core.config.BoundSet` (none = static, any = dynamic), an
+optional :class:`~repro.core.hub_index.HubIndex`, and optional bichromatic
+predicates.  The public algorithm modules are thin wrappers that pick the
+right configuration.
+
+Correctness under pruning
+-------------------------
+Because pruned subtrees are not expanded, the traversal may later reach a
+pruned node's descendant through a longer, non-shortest path; such a node's
+popped distance (and therefore its height bound, ``lcount`` bound and refined
+rank) can be over-estimates.  This never affects the returned result: by
+induction over the pop order, every node whose popped distance is inflated is
+a descendant of a genuinely-prunable node, hence its true rank already
+exceeds the final ``kRank`` and it can neither enter the result set nor cause
+a true result to be pruned.  (See DESIGN.md §5.)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.core.config import BoundSet
+from repro.core.refinement import refine_rank
+from repro.core.resultset import TopKRankCollector
+from repro.core.types import QueryResult, QueryStats
+from repro.errors import InvalidKError, InvalidQueryNodeError
+from repro.graph.views import transpose_view
+from repro.traversal.heap import AddressableHeap
+
+NodeId = Hashable
+Predicate = Callable[[NodeId], bool]
+
+__all__ = ["SDSTreeSearch"]
+
+
+class SDSTreeSearch:
+    """One reverse k-ranks query evaluated with the filter-and-refine framework.
+
+    Parameters
+    ----------
+    graph:
+        The graph to query (a :class:`~repro.graph.Graph`).
+    query:
+        The query node ``q``.
+    k:
+        Requested result size.
+    bounds:
+        Active lower-bound components.  :meth:`BoundSet.none` reproduces the
+        static SDS-tree, any other value the Dynamic Bounded SDS-tree.
+    index:
+        Optional :class:`~repro.core.hub_index.HubIndex`.  When provided, the
+        result set is seeded from the Reverse Rank Dictionary, candidates can
+        be answered or pruned from the index, and the index is updated with
+        everything the refinements discover.
+    candidate:
+        Predicate selecting which nodes may appear in the result
+        (bichromatic queries restrict this to community nodes).  ``None``
+        means every node other than ``q`` is a candidate.
+    counted:
+        Predicate selecting which nodes contribute to rank values
+        (bichromatic queries restrict this to facility nodes).  ``None``
+        means every node counts.
+    algorithm_label:
+        Name recorded in the produced :class:`~repro.core.types.QueryResult`.
+    """
+
+    def __init__(
+        self,
+        graph,
+        query: NodeId,
+        k: int,
+        bounds: Optional[BoundSet] = None,
+        index=None,
+        candidate: Optional[Predicate] = None,
+        counted: Optional[Predicate] = None,
+        algorithm_label: str = "",
+    ) -> None:
+        if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+            raise InvalidKError(k)
+        if not graph.has_node(query):
+            raise InvalidQueryNodeError(query)
+
+        self._graph = graph
+        self._reverse = transpose_view(graph)
+        self._query = query
+        self._k = k
+        self._bounds = bounds if bounds is not None else BoundSet.all()
+        self._index = index
+        self._candidate = candidate
+        self._counted = counted
+        self._label = algorithm_label or self._bounds.label()
+
+        # The count bound is only valid on undirected graphs (paper, footnote
+        # to Lemma 3) and only in the monochromatic setting (Lemma 4 relies on
+        # the visiting nodes themselves being counted).
+        self._count_bound_active = (
+            self._bounds.use_count and not graph.directed and counted is None
+        )
+        # The height bound generalises to "counted nodes on the tree path";
+        # in the monochromatic case this is exactly the tree depth (Lemma 2).
+        self._height_bound_active = self._bounds.use_height
+
+        if index is not None:
+            index.ensure_compatible(graph, k)
+
+        self.stats = QueryStats()
+        self._collector = TopKRankCollector(k)
+
+        # Per-node traversal state.
+        self._settled: set = set()
+        self._parent: Dict[NodeId, Optional[NodeId]] = {query: None}
+        self._height_bound: Dict[NodeId, int] = {query: 1}
+        self._parent_bound: Dict[NodeId, float] = {query: 0.0}
+        self._lcount: Dict[NodeId, int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> QueryResult:
+        """Evaluate the query and return the result."""
+        started = time.perf_counter()
+        self._seed_from_index()
+        self._traverse()
+        self.stats.elapsed_seconds = time.perf_counter() - started
+        return self._collector.as_result(
+            self._query, stats=self.stats, algorithm=self._label
+        )
+
+    # ------------------------------------------------------------------
+    # Seeding from the hub index
+    # ------------------------------------------------------------------
+    def _seed_from_index(self) -> None:
+        if self._index is None:
+            return
+        for node, rank in self._index.known_reverse_ranks(self._query):
+            if self._is_candidate(node):
+                self._collector.offer(node, rank)
+
+    # ------------------------------------------------------------------
+    # SDS-tree traversal (Dijkstra towards q on the transpose graph)
+    # ------------------------------------------------------------------
+    def _traverse(self) -> None:
+        heap: AddressableHeap = AddressableHeap()
+        heap.push(self._query, 0.0)
+
+        while heap:
+            node, distance = heap.pop()
+            self._settled.add(node)
+            self.stats.tree_pops += 1
+
+            if node == self._query:
+                self._expand(heap, node, distance, child_parent_bound=0.0)
+                continue
+
+            expand_bound = self._process_candidate(node, distance)
+            if expand_bound is not None:
+                self._expand(heap, node, distance, child_parent_bound=expand_bound)
+
+    def _expand(
+        self,
+        heap: AddressableHeap,
+        node: NodeId,
+        distance: float,
+        child_parent_bound: float,
+    ) -> None:
+        """Relax the SDS-tree children of ``node`` (in-neighbours of ``node``)."""
+        child_height = self._child_height_bound(node)
+        for neighbor, weight in self._reverse.neighbor_items(node):
+            if neighbor in self._settled:
+                continue
+            candidate_distance = distance + weight
+            current = heap.get_priority(neighbor)
+            if current is None:
+                heap.push(neighbor, candidate_distance)
+                self.stats.tree_pushes += 1
+                self._set_child_state(neighbor, node, child_height, child_parent_bound)
+            elif candidate_distance < current:
+                heap.decrease_key(neighbor, candidate_distance)
+                self.stats.tree_pushes += 1
+                self._set_child_state(neighbor, node, child_height, child_parent_bound)
+
+    def _set_child_state(
+        self,
+        child: NodeId,
+        parent: NodeId,
+        child_height: int,
+        child_parent_bound: float,
+    ) -> None:
+        self._parent[child] = parent
+        self._height_bound[child] = child_height
+        self._parent_bound[child] = child_parent_bound
+
+    def _child_height_bound(self, node: NodeId) -> int:
+        """Height (counted-ancestors) bound inherited by children of ``node``."""
+        if node == self._query:
+            return 1
+        base = self._height_bound.get(node, 1)
+        contributes = self._counted is None or self._counted(node)
+        return base + (1 if contributes else 0)
+
+    # ------------------------------------------------------------------
+    # Candidate processing
+    # ------------------------------------------------------------------
+    def _process_candidate(
+        self, node: NodeId, distance: float
+    ) -> Optional[float]:
+        """Decide what to do with a settled node.
+
+        Returns the parent-rank bound its children should inherit when the
+        node's subtree must be expanded, or ``None`` when the subtree is
+        pruned.
+        """
+        is_candidate = self._is_candidate(node)
+        k_rank = self._collector.k_rank
+
+        # 1. The index may already know this node's exact rank w.r.t. q.
+        if is_candidate and self._index is not None:
+            known = self._index.known_rank(node, self._query)
+            if known is not None:
+                self.stats.answered_by_index += 1
+                self._collector.offer(node, known)
+                if known <= self._collector.k_rank:
+                    return float(known)
+                return None
+
+        # 2. Lower-bound check (Theorem 2 + Check Dictionary).
+        lower_bound, winner = self._lower_bound(node)
+        if winner is not None:
+            self.stats.record_bound_win(winner)
+
+        if not is_candidate:
+            # Non-candidates (bichromatic facility nodes) are never refined;
+            # their subtree is expanded unless the inherited bound already
+            # rules the whole subtree out.
+            if lower_bound >= k_rank:
+                self.stats.pruned_by_bound += 1
+                return None
+            return max(self._parent_bound.get(node, 0.0), lower_bound)
+
+        if lower_bound >= k_rank:
+            if winner == "index":
+                self.stats.pruned_by_check_dictionary += 1
+            else:
+                self.stats.pruned_by_bound += 1
+            return None
+
+        # 3. Rank refinement.
+        rank = self._refine(node, distance, k_rank)
+        if rank is None:
+            return None
+        self._collector.offer(node, rank)
+        return float(rank)
+
+    def _is_candidate(self, node: NodeId) -> bool:
+        if node == self._query:
+            return False
+        if self._candidate is None:
+            return True
+        return self._candidate(node)
+
+    def _lower_bound(self, node: NodeId) -> Tuple[float, Optional[str]]:
+        """Theorem-2 lower bound (plus the Check Dictionary component)."""
+        components: Dict[str, float] = {}
+        if self._bounds.use_parent:
+            components["parent"] = self._parent_bound.get(node, 0.0)
+        if self._height_bound_active:
+            components["height"] = float(self._height_bound.get(node, 1))
+        if self._count_bound_active:
+            components["count"] = float(self._lcount.get(node, 0))
+        if self._index is not None:
+            check_value = self._index.check_value(node)
+            if check_value is not None:
+                components["index"] = float(check_value)
+
+        if not components:
+            return 0.0, None
+
+        best_value = max(components.values())
+        # Deterministic winner attribution: parent > height > count > index,
+        # matching how the paper reports Table 11.
+        for name in ("parent", "height", "count", "index"):
+            if name in components and components[name] == best_value:
+                return best_value, name
+        return best_value, None  # pragma: no cover - unreachable
+
+    # ------------------------------------------------------------------
+    # Refinement wiring
+    # ------------------------------------------------------------------
+    def _refine(self, node: NodeId, distance: float, k_rank: float) -> Optional[int]:
+        """Run the bounded rank refinement for ``node``; ``None`` when pruned."""
+        self.stats.rank_refinements += 1
+
+        on_push = self._make_push_hook()
+        on_settle = self._make_settle_hook(node)
+
+        outcome = refine_rank(
+            self._graph,
+            node,
+            radius=distance,
+            k_rank=k_rank,
+            counted=self._counted,
+            on_push=on_push,
+            on_settle=on_settle,
+        )
+        self.stats.refinement_nodes_settled += outcome.settled
+
+        if self._index is not None:
+            self._index.record_exploration(node, outcome.settled)
+
+        if outcome.pruned:
+            self.stats.refinements_pruned += 1
+            return None
+        return outcome.rank
+
+    def _make_push_hook(self) -> Optional[Callable[[NodeId], None]]:
+        if not self._count_bound_active:
+            return None
+        lcount = self._lcount
+
+        def on_push(visited: NodeId) -> None:
+            lcount[visited] = lcount.get(visited, 0) + 1
+
+        return on_push
+
+    def _make_settle_hook(
+        self, source: NodeId
+    ) -> Optional[Callable[[NodeId, int], None]]:
+        if self._index is None:
+            return None
+        index = self._index
+
+        def on_settle(target: NodeId, rank: int) -> None:
+            index.record_rank(source, target, rank)
+
+        return on_settle

@@ -1,0 +1,144 @@
+"""Rank refinement: the ``GetRank`` procedure (paper Algorithm 2 / 4).
+
+Given a candidate node ``p`` and its distance ``d(p, q)`` to the query node,
+the refinement counts how many nodes are strictly closer to ``p`` than ``q``
+is, by running a Dijkstra search from ``p`` that is *radius-bounded* by
+``d(p, q)``: only nodes whose tentative distance is strictly smaller than the
+radius are ever pushed.  The count of pushed (counted) nodes plus one is
+exactly ``Rank(p, q)``.
+
+Two early-exit / instrumentation features mirror the paper:
+
+* as soon as the partial count exceeds the current ``kRank`` bound the search
+  aborts and returns :data:`~repro.core.types.PRUNED` (Algorithm 2, line 17);
+* optional callbacks report every *pushed* node (used to maintain the
+  ``lcount`` bound of Theorem 2) and every *settled* node together with its
+  rank with respect to ``p`` (used to update the hub index, Algorithm 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+from repro.core.types import PRUNED
+from repro.traversal.heap import AddressableHeap
+
+NodeId = Hashable
+
+__all__ = ["RefinementOutcome", "refine_rank"]
+
+
+@dataclass(frozen=True)
+class RefinementOutcome:
+    """Result of one rank refinement.
+
+    Attributes
+    ----------
+    rank:
+        The exact ``Rank(p, q)`` value, or :data:`PRUNED` (-1) when the
+        refinement aborted because the rank is guaranteed to exceed the
+        ``k_rank`` bound.
+    settled:
+        Number of nodes settled (popped with exact distance) by the search.
+        This is what the indexed algorithm records in the Check Dictionary.
+    pushed:
+        Number of nodes pushed onto the refinement frontier.
+    """
+
+    rank: int
+    settled: int
+    pushed: int
+
+    @property
+    def pruned(self) -> bool:
+        """Whether the refinement aborted early."""
+        return self.rank == PRUNED
+
+
+def refine_rank(
+    graph,
+    source: NodeId,
+    radius: float,
+    k_rank: float = float("inf"),
+    counted: Optional[Callable[[NodeId], bool]] = None,
+    on_push: Optional[Callable[[NodeId], None]] = None,
+    on_settle: Optional[Callable[[NodeId, int], None]] = None,
+) -> RefinementOutcome:
+    """Compute ``Rank(source, q)`` given ``radius = d(source, q)``.
+
+    Parameters
+    ----------
+    graph:
+        Adjacency provider; the search runs on the *original* edge direction
+        (distances measured from ``source`` outwards).
+    source:
+        The candidate node ``p`` being refined.
+    radius:
+        The shortest-path distance ``d(source, q)``; only nodes strictly
+        closer than this participate in the rank.
+    k_rank:
+        Current pruning bound.  As soon as the partial rank exceeds this the
+        refinement aborts with :data:`PRUNED`.
+    counted:
+        Optional predicate restricting which nodes contribute to the rank
+        (bichromatic queries count only facility nodes).  All nodes within
+        the radius are still traversed, they just may not be counted.
+    on_push:
+        Callback invoked once per node pushed onto the frontier (excluding
+        ``source``).  Used to maintain the ``lcount`` lower bound.
+    on_settle:
+        Callback ``on_settle(node, rank_of_node)`` invoked for every settled
+        node other than ``source`` with its exact rank with respect to
+        ``source``.  Used to update the Reverse Rank Dictionary.
+
+    Returns
+    -------
+    RefinementOutcome
+    """
+    heap: AddressableHeap = AddressableHeap()
+    heap.push(source, 0.0)
+    settled: dict = {}
+    rank = 1
+    pushed = 0
+
+    # Tie-group bookkeeping for on_settle ranks: nodes settled at the same
+    # distance share the same "number of strictly closer" count.
+    closer_counted = 0
+    tie_counted = 0
+    previous_distance: Optional[float] = None
+
+    while heap:
+        node, distance = heap.pop()
+        settled[node] = distance
+
+        if node != source and on_settle is not None:
+            if previous_distance is None or distance > previous_distance:
+                closer_counted += tie_counted
+                tie_counted = 0
+                previous_distance = distance
+            on_settle(node, closer_counted + 1)
+            if counted is None or counted(node):
+                tie_counted += 1
+
+        for neighbor, weight in graph.neighbor_items(node):
+            if neighbor in settled:
+                continue
+            candidate = distance + weight
+            if neighbor in heap:
+                heap.decrease_key(neighbor, candidate)
+                continue
+            if candidate >= radius:
+                continue
+            heap.push(neighbor, candidate)
+            pushed += 1
+            if on_push is not None:
+                on_push(neighbor)
+            if counted is None or counted(neighbor):
+                rank += 1
+                if rank > k_rank:
+                    return RefinementOutcome(
+                        rank=PRUNED, settled=len(settled) - 1, pushed=pushed
+                    )
+
+    return RefinementOutcome(rank=rank, settled=len(settled) - 1, pushed=pushed)

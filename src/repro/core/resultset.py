@@ -1,0 +1,166 @@
+"""The running top-k result set ``R`` and its ``kRank`` bound.
+
+Every algorithm in the framework maintains the set ``R`` of the ``k`` lowest
+``Rank(p, q)`` values seen so far; the largest of those values (``kRank``)
+drives all pruning.  :class:`TopKRankCollector` encapsulates that logic with
+deterministic tie-breaking so that repeated runs produce identical results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.types import QueryStats, QueryResult, RankedNode
+
+NodeId = Hashable
+
+__all__ = ["TopKRankCollector"]
+
+
+class TopKRankCollector:
+    """Maintains the ``k`` best (lowest-rank) nodes seen so far.
+
+    Ties at the boundary are resolved in favour of the node with the smaller
+    ``repr`` so results are deterministic regardless of traversal order.
+
+    Parameters
+    ----------
+    k:
+        Result size.
+    """
+
+    __slots__ = ("_k", "_heap", "_members")
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self._k = k
+        # Max-heap on (rank, tie_key) implemented by negating the comparison:
+        # Python's heapq is a min-heap, so store (-rank, neg_tie_key, node).
+        # The tie key must also be inverted; we store the repr string and
+        # rely on a wrapper tuple with reversed lexicographic semantics.
+        self._heap: List[Tuple[float, _ReversedStr, NodeId]] = []
+        self._members: Dict[NodeId, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """The requested result size."""
+        return self._k
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._members
+
+    def rank_of(self, node: NodeId) -> Optional[float]:
+        """Rank of ``node`` if it is currently in the collector."""
+        return self._members.get(node)
+
+    @property
+    def k_rank(self) -> float:
+        """The pruning bound ``kRank``.
+
+        Equal to the largest rank currently held once ``k`` entries have
+        accumulated, and ``inf`` before that (nothing can be pruned until the
+        result set is full, exactly as in the paper).
+        """
+        if len(self._members) < self._k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def is_full(self) -> bool:
+        """Whether ``k`` entries have been collected."""
+        return len(self._members) >= self._k
+
+    # ------------------------------------------------------------------
+    def offer(self, node: NodeId, rank: float) -> bool:
+        """Offer a candidate; returns ``True`` if it (now) belongs to ``R``.
+
+        A node already present is updated only if the new rank is smaller
+        (ranks are exact, so this should not normally happen, but the indexed
+        algorithm may re-offer a node whose rank was seeded from the index).
+        """
+        existing = self._members.get(node)
+        if existing is not None:
+            if rank >= existing:
+                return True
+            self._remove(node)
+
+        if len(self._members) < self._k:
+            self._push(node, rank)
+            return True
+
+        worst_rank = -self._heap[0][0]
+        worst_key = self._heap[0][1].value
+        if rank > worst_rank:
+            return False
+        if rank == worst_rank and repr(node) >= worst_key:
+            return False
+        # Evict the current worst and insert the new node.
+        _, __, worst_node = heapq.heappop(self._heap)
+        del self._members[worst_node]
+        self._push(node, rank)
+        return True
+
+    def _push(self, node: NodeId, rank: float) -> None:
+        heapq.heappush(self._heap, (-rank, _ReversedStr(repr(node)), node))
+        self._members[node] = rank
+
+    def _remove(self, node: NodeId) -> None:
+        del self._members[node]
+        self._heap = [entry for entry in self._heap if entry[2] != node]
+        heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------
+    def as_result(
+        self,
+        query: NodeId,
+        stats: Optional[QueryStats] = None,
+        algorithm: str = "",
+    ) -> QueryResult:
+        """Freeze the collected entries into a :class:`QueryResult`."""
+        entries = sorted(
+            (RankedNode.make(node, rank) for node, rank in self._members.items()),
+            key=lambda entry: (entry.rank, entry.sort_key),
+        )
+        return QueryResult(
+            query=query,
+            k=self._k,
+            entries=entries,
+            stats=stats or QueryStats(),
+            algorithm=algorithm,
+        )
+
+    def items(self) -> List[Tuple[NodeId, float]]:
+        """Current ``(node, rank)`` pairs sorted by rank."""
+        return sorted(self._members.items(), key=lambda pair: (pair[1], repr(pair[0])))
+
+
+class _ReversedStr:
+    """String wrapper with reversed ordering (for the max-heap tie break).
+
+    In the max-heap (min-heap over negated ranks) we want the *largest*
+    ``repr`` to be considered "worst" among equal ranks, so that
+    :meth:`TopKRankCollector.offer` keeps the lexicographically smallest
+    node identifiers — making tie-breaking globally deterministic.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_ReversedStr") -> bool:
+        return self.value > other.value
+
+    def __le__(self, other: "_ReversedStr") -> bool:
+        return self.value >= other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReversedStr) and self.value == other.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"_ReversedStr({self.value!r})"

@@ -1,0 +1,110 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by the package with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph construction or access."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when a node identifier is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an edge is not present in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """Raised when adding a node identifier that already exists."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} already exists in the graph")
+        self.node = node
+
+
+class InvalidWeightError(GraphError, ValueError):
+    """Raised when an edge weight is negative, NaN, or not a number."""
+
+    def __init__(self, weight: object) -> None:
+        super().__init__(
+            f"edge weight {weight!r} is invalid: weights must be finite and >= 0"
+        )
+        self.weight = weight
+
+
+class GraphValidationError(GraphError, ValueError):
+    """Raised when a graph fails a structural validation check."""
+
+
+class QueryError(ReproError):
+    """Base class for errors raised while evaluating queries."""
+
+
+class InvalidQueryNodeError(QueryError, KeyError):
+    """Raised when the query node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"query node {node!r} is not in the graph")
+        self.node = node
+
+
+class InvalidKError(QueryError, ValueError):
+    """Raised when the requested result size ``k`` is not a positive integer."""
+
+    def __init__(self, k: object) -> None:
+        super().__init__(f"k must be a positive integer, got {k!r}")
+        self.k = k
+
+
+class IndexError_(ReproError):
+    """Base class for hub-index related errors.
+
+    The trailing underscore avoids shadowing the builtin :class:`IndexError`.
+    """
+
+
+class IndexParameterError(IndexError_, ValueError):
+    """Raised when hub-index parameters (H, M, K) are inconsistent."""
+
+
+class IndexCapacityError(IndexError_, ValueError):
+    """Raised when a query requests ``k`` larger than the index capacity ``K``."""
+
+    def __init__(self, k: int, capacity: int) -> None:
+        super().__init__(
+            f"requested k={k} exceeds the index capacity K={capacity}; "
+            "rebuild the index with a larger K or query without the index"
+        )
+        self.k = k
+        self.capacity = capacity
+
+
+class BichromaticError(QueryError, ValueError):
+    """Raised when bichromatic query constraints are violated."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset cannot be generated or loaded."""
+
+
+class WorkloadError(ReproError):
+    """Raised when an experiment workload cannot be constructed."""

@@ -1,0 +1,409 @@
+"""Core weighted graph data structure.
+
+The :class:`Graph` class is a lightweight adjacency-list graph that supports
+both directed and undirected edges with non-negative float weights.  Node
+identifiers may be any hashable object (the synthetic datasets use integers,
+the toy example uses strings).
+
+Design notes
+------------
+* Out-adjacency and in-adjacency are both materialised.  The paper's
+  SDS-tree is a Dijkstra tree on the transpose graph ``G^T`` (distances *to*
+  the query node), so in-neighbour enumeration must be as cheap as
+  out-neighbour enumeration.  For undirected graphs the two dictionaries
+  share the same entries.
+* Parallel edges are collapsed: adding an edge that already exists keeps the
+  smaller weight (shortest-path semantics make the heavier parallel edge
+  irrelevant).  Use :class:`~repro.graph.builder.GraphBuilder` if a different
+  merge policy is required.
+* Self loops are rejected: they never affect shortest-path distances and the
+  paper's rank definition ignores the node itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    GraphValidationError,
+    InvalidWeightError,
+    NodeNotFoundError,
+)
+
+NodeId = Hashable
+Weight = float
+
+__all__ = ["Graph", "NodeId", "Weight"]
+
+
+def _check_weight(weight: float) -> float:
+    """Validate and normalise an edge weight.
+
+    Weights must be finite, non-negative numbers.  Integers are accepted and
+    converted to ``float``.
+    """
+    try:
+        value = float(weight)
+    except (TypeError, ValueError) as exc:
+        raise InvalidWeightError(weight) from exc
+    if math.isnan(value) or math.isinf(value) or value < 0:
+        raise InvalidWeightError(weight)
+    return value
+
+
+class Graph:
+    """A weighted graph with adjacency-list storage.
+
+    Parameters
+    ----------
+    directed:
+        Whether edges are directed.  The reverse k-ranks framework works on
+        both; the count-based pruning bound is only valid on undirected
+        graphs (paper, Lemma 3 footnote).
+    name:
+        Optional human-readable name used in reports and benchmarks.
+
+    Examples
+    --------
+    >>> g = Graph(directed=False)
+    >>> g.add_edge("a", "b", 1.0)
+    >>> g.add_edge("b", "c", 2.5)
+    >>> sorted(g.neighbors("b"))
+    ['a', 'c']
+    >>> g.weight("a", "b")
+    1.0
+    """
+
+    __slots__ = ("_directed", "_succ", "_pred", "_num_edges", "name")
+
+    def __init__(self, directed: bool = False, name: str = "") -> None:
+        self._directed = bool(directed)
+        self._succ: Dict[NodeId, Dict[NodeId, Weight]] = {}
+        self._pred: Dict[NodeId, Dict[NodeId, Weight]] = {}
+        self._num_edges = 0
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def directed(self) -> bool:
+        """Whether the graph is directed."""
+        return self._directed
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (logical) edges.
+
+        For undirected graphs each edge is counted once even though it is
+        stored in both adjacency directions.
+        """
+        return self._num_edges
+
+    @property
+    def average_degree(self) -> float:
+        """Average out-degree (2·|E|/|V| for undirected graphs)."""
+        if not self._succ:
+            return 0.0
+        factor = 1 if self._directed else 2
+        return factor * self._num_edges / self.num_nodes
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "directed" if self._directed else "undirected"
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Graph{label} {kind} nodes={self.num_nodes} edges={self.num_edges}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, exist_ok: bool = True) -> None:
+        """Add an isolated node.
+
+        Parameters
+        ----------
+        node:
+            Hashable node identifier.
+        exist_ok:
+            When ``False``, adding an existing node raises
+            :class:`~repro.errors.DuplicateNodeError`.
+        """
+        if node in self._succ:
+            if not exist_ok:
+                raise DuplicateNodeError(node)
+            return
+        self._succ[node] = {}
+        self._pred[node] = {}
+
+    def add_nodes(self, nodes: Iterable[NodeId]) -> None:
+        """Add every node in ``nodes`` (existing nodes are kept)."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, source: NodeId, target: NodeId, weight: Weight = 1.0) -> None:
+        """Add an edge (collapsing parallel edges to the minimum weight).
+
+        Both endpoints are added implicitly.  Self loops are ignored because
+        they can never change a shortest-path distance or a rank.
+        """
+        if source == target:
+            return
+        value = _check_weight(weight)
+        self.add_node(source)
+        self.add_node(target)
+
+        existing = self._succ[source].get(target)
+        if existing is None:
+            self._num_edges += 1
+        elif existing <= value:
+            value = existing
+
+        self._succ[source][target] = value
+        self._pred[target][source] = value
+        if not self._directed:
+            self._succ[target][source] = value
+            self._pred[source][target] = value
+
+    def add_edges(
+        self, edges: Iterable[Tuple[NodeId, NodeId, Weight]]
+    ) -> None:
+        """Add every ``(source, target, weight)`` triple in ``edges``."""
+        for source, target, weight in edges:
+            self.add_edge(source, target, weight)
+
+    def remove_edge(self, source: NodeId, target: NodeId) -> None:
+        """Remove an edge; raises :class:`EdgeNotFoundError` if absent."""
+        if source not in self._succ or target not in self._succ[source]:
+            raise EdgeNotFoundError(source, target)
+        del self._succ[source][target]
+        del self._pred[target][source]
+        if not self._directed:
+            del self._succ[target][source]
+            del self._pred[source][target]
+        self._num_edges -= 1
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove a node and all incident edges."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        for target in list(self._succ[node]):
+            self.remove_edge(node, target)
+        for source in list(self._pred[node]):
+            if source in self._succ and node in self._succ[source]:
+                self.remove_edge(source, node)
+        del self._succ[node]
+        del self._pred[node]
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over node identifiers."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Tuple[NodeId, NodeId, Weight]]:
+        """Iterate over edges as ``(source, target, weight)`` triples.
+
+        For undirected graphs each edge is yielded once, with the endpoint
+        order of the stored representation (deterministic for a given
+        insertion order).
+        """
+        if self._directed:
+            for source, targets in self._succ.items():
+                for target, weight in targets.items():
+                    yield source, target, weight
+        else:
+            seen = set()
+            for source, targets in self._succ.items():
+                for target, weight in targets.items():
+                    if (target, source) in seen:
+                        continue
+                    seen.add((source, target))
+                    yield source, target, weight
+
+    def has_node(self, node: NodeId) -> bool:
+        """Whether ``node`` is in the graph."""
+        return node in self._succ
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        """Whether the edge ``(source, target)`` is in the graph."""
+        return source in self._succ and target in self._succ[source]
+
+    def weight(self, source: NodeId, target: NodeId) -> Weight:
+        """Weight of edge ``(source, target)``; raises if absent."""
+        try:
+            return self._succ[source][target]
+        except KeyError as exc:
+            raise EdgeNotFoundError(source, target) from exc
+
+    def neighbors(self, node: NodeId) -> Iterator[NodeId]:
+        """Iterate over out-neighbours of ``node``."""
+        return iter(self._out_adj(node))
+
+    def neighbor_items(self, node: NodeId) -> Iterator[Tuple[NodeId, Weight]]:
+        """Iterate over ``(out-neighbour, weight)`` pairs of ``node``."""
+        return iter(self._out_adj(node).items())
+
+    def in_neighbors(self, node: NodeId) -> Iterator[NodeId]:
+        """Iterate over in-neighbours of ``node``."""
+        return iter(self._in_adj(node))
+
+    def in_neighbor_items(self, node: NodeId) -> Iterator[Tuple[NodeId, Weight]]:
+        """Iterate over ``(in-neighbour, weight)`` pairs of ``node``.
+
+        This is exactly the out-adjacency of the transpose graph ``G^T``
+        used to build the SDS-tree rooted at the query node.
+        """
+        return iter(self._in_adj(node).items())
+
+    def out_degree(self, node: NodeId) -> int:
+        """Out-degree of ``node``."""
+        return len(self._out_adj(node))
+
+    def in_degree(self, node: NodeId) -> int:
+        """In-degree of ``node``."""
+        return len(self._in_adj(node))
+
+    def degree(self, node: NodeId) -> int:
+        """Alias of :meth:`out_degree` (equal to in-degree when undirected)."""
+        return self.out_degree(node)
+
+    def _out_adj(self, node: NodeId) -> Mapping[NodeId, Weight]:
+        try:
+            return self._succ[node]
+        except KeyError as exc:
+            raise NodeNotFoundError(node) from exc
+
+    def _in_adj(self, node: NodeId) -> Mapping[NodeId, Weight]:
+        try:
+            return self._pred[node]
+        except KeyError as exc:
+            raise NodeNotFoundError(node) from exc
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def transpose(self) -> "Graph":
+        """Return a new graph with every edge reversed.
+
+        For undirected graphs this returns an identical copy (``G^T = G``).
+        """
+        result = Graph(directed=self._directed, name=f"{self.name}^T" if self.name else "")
+        result.add_nodes(self.nodes())
+        for source, target, weight in self.edges():
+            if self._directed:
+                result.add_edge(target, source, weight)
+            else:
+                result.add_edge(source, target, weight)
+        return result
+
+    def copy(self) -> "Graph":
+        """Return a deep structural copy of the graph."""
+        result = Graph(directed=self._directed, name=self.name)
+        result.add_nodes(self.nodes())
+        for source, target, weight in self.edges():
+            result.add_edge(source, target, weight)
+        return result
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
+        """Return the subgraph induced by ``nodes``."""
+        keep = set(nodes)
+        missing = [node for node in keep if node not in self._succ]
+        if missing:
+            raise NodeNotFoundError(missing[0])
+        result = Graph(directed=self._directed, name=self.name)
+        result.add_nodes(keep)
+        for source in keep:
+            for target, weight in self._succ[source].items():
+                if target in keep:
+                    result.add_edge(source, target, weight)
+        return result
+
+    # ------------------------------------------------------------------
+    # Equality (structural)
+    # ------------------------------------------------------------------
+    def structurally_equal(self, other: "Graph") -> bool:
+        """Whether two graphs have identical nodes, edges and weights."""
+        if self._directed != other._directed:
+            return False
+        if set(self._succ) != set(other._succ):
+            return False
+        for node, targets in self._succ.items():
+            if targets != other._succ.get(node, {}):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Validation helpers used by repro.graph.validation
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Verify internal adjacency invariants (used by tests).
+
+        Raises
+        ------
+        GraphValidationError
+            If the forward and reverse adjacency maps disagree.
+        """
+        for source, targets in self._succ.items():
+            for target, weight in targets.items():
+                if self._pred.get(target, {}).get(source) != weight:
+                    raise GraphValidationError(
+                        f"edge ({source!r}, {target!r}) missing from reverse adjacency"
+                    )
+                if not self._directed and self._succ.get(target, {}).get(source) != weight:
+                    raise GraphValidationError(
+                        f"undirected edge ({source!r}, {target!r}) not symmetric"
+                    )
+
+    # ------------------------------------------------------------------
+    # Serialisation hooks (see repro.graph.io for file formats)
+    # ------------------------------------------------------------------
+    def to_edge_list(self) -> list:
+        """Return all edges as a list of ``(source, target, weight)`` triples."""
+        return list(self.edges())
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Iterable[Tuple[NodeId, NodeId, Weight]],
+        directed: bool = False,
+        nodes: Optional[Iterable[NodeId]] = None,
+        name: str = "",
+    ) -> "Graph":
+        """Build a graph from an iterable of weighted edges.
+
+        Parameters
+        ----------
+        edges:
+            Iterable of ``(source, target, weight)`` triples.
+        directed:
+            Whether the resulting graph is directed.
+        nodes:
+            Optional iterable of nodes to add up front (so that isolated
+            nodes survive the round trip).
+        name:
+            Optional graph name.
+        """
+        graph = cls(directed=directed, name=name)
+        if nodes is not None:
+            graph.add_nodes(nodes)
+        graph.add_edges(edges)
+        return graph

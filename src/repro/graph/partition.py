@@ -1,0 +1,122 @@
+"""Bichromatic node partitions (paper Section 6.3.4, Definitions 3 & 4).
+
+In a bichromatic reverse k-ranks query the node set is split into two
+classes: the query node belongs to one class (``V2``, e.g. supermarkets) and
+the result nodes to the other (``V1``, e.g. communities).  Rank values only
+count nodes of the query node's class (``V2``).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Set
+
+from repro.errors import BichromaticError
+from repro.graph.graph import Graph, NodeId
+
+__all__ = ["BichromaticPartition"]
+
+
+class BichromaticPartition:
+    """A two-class labelling of a graph's nodes.
+
+    Parameters
+    ----------
+    graph:
+        The graph whose nodes are partitioned.
+    facility_nodes:
+        The nodes of class ``V2`` (the paper calls these, e.g., the
+        supermarkets / store nodes).  Every other node of ``graph`` is
+        assigned to class ``V1`` (the communities).
+
+    Notes
+    -----
+    The paper's Definition 3 counts only ``V2`` nodes when computing
+    ``Rank(s, t)`` for ``s ∈ V1, t ∈ V2``, and Definition 4 restricts the
+    result set to ``V1`` nodes.  :meth:`is_counted` and :meth:`is_candidate`
+    expose exactly those two predicates to the query algorithms.
+    """
+
+    __slots__ = ("_graph", "_facilities", "_communities")
+
+    def __init__(self, graph: Graph, facility_nodes: Iterable[NodeId]) -> None:
+        facilities = set(facility_nodes)
+        if not facilities:
+            raise BichromaticError("facility node set (V2) must not be empty")
+        missing = [node for node in facilities if node not in graph]
+        if missing:
+            raise BichromaticError(
+                f"facility nodes not present in the graph: {missing[:5]!r}"
+            )
+        communities = set(graph.nodes()) - facilities
+        if not communities:
+            raise BichromaticError(
+                "community node set (V1) must not be empty; "
+                "at least one node must be outside the facility set"
+            )
+        self._graph = graph
+        self._facilities: FrozenSet[NodeId] = frozenset(facilities)
+        self._communities: FrozenSet[NodeId] = frozenset(communities)
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph."""
+        return self._graph
+
+    @property
+    def facilities(self) -> FrozenSet[NodeId]:
+        """Class ``V2``: the nodes queries are issued from (e.g. stores)."""
+        return self._facilities
+
+    @property
+    def communities(self) -> FrozenSet[NodeId]:
+        """Class ``V1``: the nodes returned as results (e.g. communities)."""
+        return self._communities
+
+    @property
+    def num_facilities(self) -> int:
+        """Number of ``V2`` nodes."""
+        return len(self._facilities)
+
+    @property
+    def num_communities(self) -> int:
+        """Number of ``V1`` nodes."""
+        return len(self._communities)
+
+    # ------------------------------------------------------------------
+    def is_facility(self, node: NodeId) -> bool:
+        """Whether ``node`` belongs to class ``V2``."""
+        return node in self._facilities
+
+    def is_community(self, node: NodeId) -> bool:
+        """Whether ``node`` belongs to class ``V1``."""
+        return node in self._communities
+
+    def is_candidate(self, node: NodeId) -> bool:
+        """Whether ``node`` may appear in a bichromatic result set (``V1``)."""
+        return node in self._communities
+
+    def is_counted(self, node: NodeId) -> bool:
+        """Whether ``node`` contributes to bichromatic rank values (``V2``)."""
+        return node in self._facilities
+
+    def validate_query_node(self, node: NodeId) -> None:
+        """Ensure the query node is a ``V2`` node (Definition 4)."""
+        if node not in self._facilities:
+            raise BichromaticError(
+                f"bichromatic query node {node!r} must belong to the facility class V2"
+            )
+
+    def iter_facilities(self) -> Iterator[NodeId]:
+        """Iterate over ``V2`` nodes."""
+        return iter(self._facilities)
+
+    def iter_communities(self) -> Iterator[NodeId]:
+        """Iterate over ``V1`` nodes."""
+        return iter(self._communities)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<BichromaticPartition facilities={self.num_facilities} "
+            f"communities={self.num_communities}>"
+        )

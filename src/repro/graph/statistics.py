@@ -1,0 +1,96 @@
+"""Descriptive statistics of graphs (Table 2 of the paper).
+
+The paper reports node count, edge count and average degree for each dataset
+(DBLP, Epinions, SF).  :func:`compute_statistics` reproduces those columns
+for any :class:`~repro.graph.Graph`, plus a few extra quantities (degree
+distribution summary, connected-component sizes) that the dataset generators
+use to sanity-check their output.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.graph.graph import Graph, NodeId
+
+__all__ = ["GraphStatistics", "compute_statistics", "connected_components"]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary statistics for a graph.
+
+    Attributes mirror Table 2 of the paper (nodes, edges, average degree)
+    and add degree extremes and component structure.
+    """
+
+    name: str
+    directed: bool
+    num_nodes: int
+    num_edges: int
+    average_degree: float
+    min_degree: int
+    max_degree: int
+    num_components: int
+    largest_component_size: int
+    degree_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def as_table_row(self) -> Dict[str, object]:
+        """Row matching the paper's Table 2 layout."""
+        return {
+            "dataset": self.name or "(unnamed)",
+            "# of Nodes": self.num_nodes,
+            "# of Edges": self.num_edges,
+            "Average Degree": round(self.average_degree, 2),
+        }
+
+
+def connected_components(graph: Graph) -> List[List[NodeId]]:
+    """Weakly connected components of ``graph`` (BFS, edge direction ignored)."""
+    seen: set = set()
+    components: List[List[NodeId]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component: List[NodeId] = []
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+            for neighbor in graph.in_neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    return components
+
+
+def compute_statistics(graph: Graph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for ``graph``."""
+    degrees = [graph.out_degree(node) for node in graph.nodes()]
+    histogram: Dict[int, int] = {}
+    for degree in degrees:
+        histogram[degree] = histogram.get(degree, 0) + 1
+
+    components = connected_components(graph)
+    component_sizes = [len(component) for component in components] or [0]
+
+    return GraphStatistics(
+        name=graph.name,
+        directed=graph.directed,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        average_degree=graph.average_degree,
+        min_degree=min(degrees) if degrees else 0,
+        max_degree=max(degrees) if degrees else 0,
+        num_components=len(components),
+        largest_component_size=max(component_sizes),
+        degree_histogram=histogram,
+    )

@@ -1,0 +1,99 @@
+"""Structural validation of graphs before query processing.
+
+The query algorithms assume non-negative finite weights and a consistent
+adjacency representation.  :func:`validate_graph` performs those checks once
+up front so the hot loops can skip per-edge validation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import GraphValidationError
+from repro.graph.graph import Graph
+
+__all__ = ["ValidationReport", "validate_graph"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of :func:`validate_graph`.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of nodes inspected.
+    num_edges:
+        Number of edges inspected.
+    num_zero_weight_edges:
+        Zero-weight edges are legal (the paper only requires non-negative
+        weights) but they can create rank ties, so the count is surfaced.
+    warnings:
+        Human-readable, non-fatal observations.
+    """
+
+    num_nodes: int
+    num_edges: int
+    num_zero_weight_edges: int
+    warnings: List[str]
+
+
+def validate_graph(graph: Graph, require_nodes: int = 1) -> ValidationReport:
+    """Validate ``graph`` for use with the reverse k-ranks algorithms.
+
+    Parameters
+    ----------
+    graph:
+        Graph to validate.
+    require_nodes:
+        Minimum number of nodes the graph must contain.
+
+    Returns
+    -------
+    ValidationReport
+        Summary of the inspection.
+
+    Raises
+    ------
+    GraphValidationError
+        If the graph is too small, has inconsistent adjacency structures, or
+        contains invalid weights.
+    """
+    if graph.num_nodes < require_nodes:
+        raise GraphValidationError(
+            f"graph has {graph.num_nodes} nodes but at least {require_nodes} are required"
+        )
+
+    graph.check_consistency()
+
+    warnings: List[str] = []
+    zero_weight = 0
+    num_edges = 0
+    for source, target, weight in graph.edges():
+        num_edges += 1
+        if math.isnan(weight) or math.isinf(weight) or weight < 0:
+            raise GraphValidationError(
+                f"edge ({source!r}, {target!r}) has invalid weight {weight!r}"
+            )
+        if weight == 0:
+            zero_weight += 1
+
+    if zero_weight:
+        warnings.append(
+            f"{zero_weight} zero-weight edges present; rank ties are more likely"
+        )
+
+    isolated = sum(1 for node in graph.nodes() if graph.out_degree(node) == 0)
+    if isolated:
+        warnings.append(
+            f"{isolated} nodes have no outgoing edges; they can never reach a query node"
+        )
+
+    return ValidationReport(
+        num_nodes=graph.num_nodes,
+        num_edges=num_edges,
+        num_zero_weight_edges=zero_weight,
+        warnings=warnings,
+    )

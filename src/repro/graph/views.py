@@ -1,0 +1,102 @@
+"""Read-only graph views.
+
+The SDS-tree is defined on the transpose graph ``G^T``.  Rather than copying
+the whole graph (as :meth:`repro.graph.Graph.transpose` does), the query
+algorithms use :func:`transpose_view`, which adapts neighbour enumeration in
+O(1) and shares storage with the original graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.graph.graph import Graph, NodeId, Weight
+
+__all__ = ["TransposeView", "transpose_view"]
+
+
+class TransposeView:
+    """A lazy transpose of a :class:`~repro.graph.Graph`.
+
+    Only the read operations used by the traversal layer are exposed:
+    membership, node iteration, neighbour enumeration and degrees.  Mutating
+    the underlying graph is reflected immediately in the view.
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+
+    @property
+    def base(self) -> Graph:
+        """The graph this view transposes."""
+        return self._graph
+
+    @property
+    def directed(self) -> bool:
+        """Whether the underlying graph is directed."""
+        return self._graph.directed
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return self._graph.num_edges
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._graph
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over node identifiers."""
+        return self._graph.nodes()
+
+    def has_node(self, node: NodeId) -> bool:
+        """Whether ``node`` exists."""
+        return self._graph.has_node(node)
+
+    def neighbor_items(self, node: NodeId) -> Iterator[Tuple[NodeId, Weight]]:
+        """Out-neighbours in the transpose = in-neighbours in the base graph."""
+        return self._graph.in_neighbor_items(node)
+
+    def neighbors(self, node: NodeId) -> Iterator[NodeId]:
+        """Out-neighbours in the transpose graph."""
+        return self._graph.in_neighbors(node)
+
+    def in_neighbor_items(self, node: NodeId) -> Iterator[Tuple[NodeId, Weight]]:
+        """In-neighbours in the transpose = out-neighbours in the base graph."""
+        return self._graph.neighbor_items(node)
+
+    def out_degree(self, node: NodeId) -> int:
+        """Out-degree in the transpose graph."""
+        return self._graph.in_degree(node)
+
+    def in_degree(self, node: NodeId) -> int:
+        """In-degree in the transpose graph."""
+        return self._graph.out_degree(node)
+
+    def degree(self, node: NodeId) -> int:
+        """Alias for :meth:`out_degree`."""
+        return self.out_degree(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<TransposeView of {self._graph!r}>"
+
+
+def transpose_view(graph: Graph) -> "Graph | TransposeView":
+    """Return a traversal-compatible transpose of ``graph``.
+
+    For undirected graphs the transpose equals the graph itself, so the
+    original object is returned unchanged (no wrapper overhead).  For
+    directed graphs a :class:`TransposeView` is returned.
+    """
+    if not graph.directed:
+        return graph
+    return TransposeView(graph)

@@ -1,0 +1,37 @@
+"""Shortest-path traversal substrate.
+
+Everything the reverse k-ranks algorithms need from "Dijkstra's algorithm"
+lives here:
+
+* :class:`~repro.traversal.heap.AddressableHeap` — a binary min-heap with
+  decrease-key, the priority queue ``Q`` of the paper's pseudo-code;
+* :mod:`~repro.traversal.dijkstra` — full, bounded and *lazy* (incremental)
+  single-source shortest path searches;
+* :mod:`~repro.traversal.knn` — top-k nearest nodes (graph k-NN);
+* :mod:`~repro.traversal.rank` — the exact ``Rank(s, t)`` definition used as
+  ground truth by the tests and the naive baseline.
+"""
+
+from repro.traversal.heap import AddressableHeap
+from repro.traversal.dijkstra import (
+    DijkstraSearch,
+    shortest_path_distances,
+    shortest_path_tree,
+    distance_between,
+)
+from repro.traversal.sssp import ShortestPathTree
+from repro.traversal.knn import k_nearest_nodes
+from repro.traversal.rank import exact_rank, rank_row, rank_matrix
+
+__all__ = [
+    "AddressableHeap",
+    "DijkstraSearch",
+    "ShortestPathTree",
+    "shortest_path_distances",
+    "shortest_path_tree",
+    "distance_between",
+    "k_nearest_nodes",
+    "exact_rank",
+    "rank_row",
+    "rank_matrix",
+]

@@ -1,0 +1,121 @@
+"""Exact ``Rank(s, t)`` computation (paper Definition 1).
+
+``Rank(s, t)`` is one plus the number of nodes strictly closer to ``s`` than
+``t`` is.  These functions compute it directly from full shortest-path
+distances and serve as the ground truth for every optimised algorithm in
+:mod:`repro.core` (the property-based tests compare against them).
+
+They are intentionally simple and unoptimised — correctness reference first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.errors import NodeNotFoundError
+from repro.traversal.dijkstra import shortest_path_distances
+
+NodeId = Hashable
+
+__all__ = ["exact_rank", "rank_row", "rank_matrix"]
+
+
+def exact_rank(
+    graph,
+    source: NodeId,
+    target: NodeId,
+    counted: Optional[Callable[[NodeId], bool]] = None,
+) -> float:
+    """Exact ``Rank(source, target)`` per Definition 1 (or Definition 3).
+
+    Parameters
+    ----------
+    graph:
+        Adjacency provider.
+    source:
+        The node doing the ranking (``s``).
+    target:
+        The node being ranked (``t``).
+    counted:
+        Optional predicate restricting which nodes contribute to the rank.
+        For bichromatic queries (Definition 3) this is "is a facility node";
+        monochromatic queries count every node.
+
+    Returns
+    -------
+    float
+        ``1 + |{p != source, target : d(source, p) < d(source, target)}|``
+        restricted to counted nodes, or ``math.inf`` when ``target`` is not
+        reachable from ``source``.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+
+    distances = shortest_path_distances(graph, source)
+    if target not in distances:
+        return float("inf")
+    threshold = distances[target]
+    closer = 0
+    for node, distance in distances.items():
+        if node == source or node == target:
+            continue
+        if counted is not None and not counted(node):
+            continue
+        if distance < threshold:
+            closer += 1
+    return closer + 1
+
+
+def rank_row(
+    graph,
+    source: NodeId,
+    counted: Optional[Callable[[NodeId], bool]] = None,
+) -> Dict[NodeId, float]:
+    """``Rank(source, t)`` for every node ``t`` reachable from ``source``.
+
+    One full Dijkstra run is shared across all targets, so this is the
+    efficient way to build whole rows of the rank matrix (Table 1).
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    distances = shortest_path_distances(graph, source)
+
+    # Sort reachable nodes by distance; the rank of a node is 1 + the number
+    # of counted nodes with strictly smaller distance.
+    others = [
+        (distance, node)
+        for node, distance in distances.items()
+        if node != source
+    ]
+    others.sort(key=lambda pair: pair[0])
+
+    ranks: Dict[NodeId, float] = {}
+    closer_counted = 0
+    index = 0
+    while index < len(others):
+        # Process a tie group: all nodes at the same distance share the same
+        # "number of strictly closer" count.
+        tie_distance = others[index][0]
+        group = []
+        while index < len(others) and others[index][0] == tie_distance:
+            group.append(others[index][1])
+            index += 1
+        for node in group:
+            ranks[node] = closer_counted + 1
+        for node in group:
+            if counted is None or counted(node):
+                closer_counted += 1
+    return ranks
+
+
+def rank_matrix(
+    graph,
+    counted: Optional[Callable[[NodeId], bool]] = None,
+) -> Dict[NodeId, Dict[NodeId, float]]:
+    """The full rank matrix ``{s: {t: Rank(s, t)}}`` (Table 1 of the paper).
+
+    Only practical for small graphs; used by tests and the toy example.
+    """
+    return {node: rank_row(graph, node, counted=counted) for node in graph.nodes()}

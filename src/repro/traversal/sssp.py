@@ -1,0 +1,106 @@
+"""Shortest-path tree result objects.
+
+:class:`ShortestPathTree` stores the outcome of a (possibly partial) Dijkstra
+search: settled distances, predecessor links and the order in which nodes
+were settled.  The order matters for rank computations — the i-th settled
+node is (modulo ties) the node with the i-th smallest distance from the
+source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import NodeNotFoundError
+
+NodeId = Hashable
+
+__all__ = ["ShortestPathTree"]
+
+
+@dataclass
+class ShortestPathTree:
+    """The (partial) result of a single-source shortest-path search.
+
+    Attributes
+    ----------
+    source:
+        The search source.
+    distances:
+        Mapping from settled node to its exact shortest-path distance.
+    predecessors:
+        Mapping from settled node to its predecessor on a shortest path
+        from ``source`` (the source maps to ``None``).
+    settled_order:
+        Nodes in the order they were settled (popped from the heap).
+    complete:
+        ``True`` when the search exhausted the reachable part of the graph,
+        ``False`` when it stopped early (bounded searches).
+    """
+
+    source: NodeId
+    distances: Dict[NodeId, float] = field(default_factory=dict)
+    predecessors: Dict[NodeId, Optional[NodeId]] = field(default_factory=dict)
+    settled_order: List[NodeId] = field(default_factory=list)
+    complete: bool = True
+
+    # ------------------------------------------------------------------
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.distances
+
+    def __len__(self) -> int:
+        return len(self.distances)
+
+    def distance(self, node: NodeId) -> float:
+        """Shortest distance from the source to ``node``.
+
+        Returns ``math.inf`` for nodes not settled by the search (either
+        unreachable, or beyond the bound of a bounded search).
+        """
+        return self.distances.get(node, float("inf"))
+
+    def path_to(self, node: NodeId) -> List[NodeId]:
+        """Reconstruct the node sequence of a shortest path ``source -> node``.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If ``node`` was not settled by the search.
+        """
+        if node not in self.distances:
+            raise NodeNotFoundError(node)
+        path: List[NodeId] = []
+        current: Optional[NodeId] = node
+        while current is not None:
+            path.append(current)
+            current = self.predecessors.get(current)
+        path.reverse()
+        return path
+
+    def depth(self, node: NodeId) -> int:
+        """Number of edges on the shortest path from the source to ``node``."""
+        return len(self.path_to(node)) - 1
+
+    def nearest(self, count: int, include_source: bool = False) -> List[Tuple[NodeId, float]]:
+        """The ``count`` nearest settled nodes as ``(node, distance)`` pairs.
+
+        Parameters
+        ----------
+        count:
+            Maximum number of nodes to return.
+        include_source:
+            Whether the source itself (distance 0) is included.
+        """
+        result: List[Tuple[NodeId, float]] = []
+        for node in self.settled_order:
+            if node == self.source and not include_source:
+                continue
+            result.append((node, self.distances[node]))
+            if len(result) >= count:
+                break
+        return result
+
+    def settled_nodes(self) -> Sequence[NodeId]:
+        """Nodes settled by the search, in settling order."""
+        return tuple(self.settled_order)
