@@ -1,0 +1,13 @@
+"""Reproduction of reverse k-ranks query processing on graphs.
+
+The package is organised bottom-up:
+
+* :mod:`repro.graph` — weighted graph substrate, builders, partitions;
+* :mod:`repro.traversal` — Dijkstra variants, graph k-NN, exact ranks;
+* :mod:`repro.centrality` — degree / closeness measures for hub selection;
+* :mod:`repro.core` — the paper's query algorithms and the engine facade.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

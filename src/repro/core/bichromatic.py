@@ -1,0 +1,69 @@
+"""Bichromatic reverse k-ranks queries (paper Section 6.3.4, Definitions 3-4).
+
+In the bichromatic setting the node set is split into facilities (``V2``,
+where queries originate) and communities (``V1``, the only admissible
+results), and rank values count facility nodes only.  Both the brute-force
+baseline and the SDS-tree framework support this through their
+``candidate`` / ``counted`` predicates; these wrappers wire a
+:class:`~repro.graph.partition.BichromaticPartition` into them and validate
+the query node's class.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.config import BoundSet
+from repro.core.framework import SDSTreeSearch
+from repro.core.naive import naive_reverse_k_ranks
+from repro.core.types import QueryResult
+from repro.graph.partition import BichromaticPartition
+
+NodeId = Hashable
+
+__all__ = ["bichromatic_naive_reverse_k_ranks", "bichromatic_reverse_k_ranks"]
+
+
+def bichromatic_naive_reverse_k_ranks(
+    partition: BichromaticPartition, query: NodeId, k: int
+) -> QueryResult:
+    """Brute-force bichromatic baseline (Definition 4 evaluated exhaustively)."""
+    partition.validate_query_node(query)
+    return naive_reverse_k_ranks(
+        partition.graph,
+        query,
+        k,
+        candidate=partition.is_candidate,
+        counted=partition.is_counted,
+        algorithm_label="Bichromatic-Naive",
+    )
+
+
+def bichromatic_reverse_k_ranks(
+    partition: BichromaticPartition,
+    query: NodeId,
+    k: int,
+    bounds: Optional[BoundSet] = None,
+) -> QueryResult:
+    """Bichromatic reverse k-ranks with the SDS-tree framework.
+
+    Parameters
+    ----------
+    bounds:
+        Theorem-2 bound components; defaults to :meth:`BoundSet.all`
+        (the framework drops the count component itself, since Lemma 4 does
+        not hold bichromatically).  Pass :meth:`BoundSet.none` for the
+        static variant.
+    """
+    partition.validate_query_node(query)
+    active = BoundSet.all() if bounds is None else bounds
+    search = SDSTreeSearch(
+        partition.graph,
+        query,
+        k,
+        bounds=active,
+        candidate=partition.is_candidate,
+        counted=partition.is_counted,
+        algorithm_label=f"Bichromatic-{active.label()}",
+    )
+    return search.run()

@@ -1,0 +1,181 @@
+"""The :class:`ReverseKRanksEngine` facade.
+
+One object that owns a graph (plus an optional bichromatic partition and an
+optional hub index) and answers reverse k-ranks queries with any of the four
+algorithms, keyed by :class:`~repro.core.config.AlgorithmKind`.  This is the
+entry point the experiment harness and the README quickstart use.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Optional, Union
+
+from repro.core.bichromatic import (
+    bichromatic_naive_reverse_k_ranks,
+    bichromatic_reverse_k_ranks,
+)
+from repro.core.config import AlgorithmKind, BoundSet
+from repro.core.hub_index import HubIndex
+from repro.core.hubs import HubSelectionStrategy
+from repro.core.naive import naive_reverse_k_ranks
+from repro.core.sds_dynamic import dynamic_reverse_k_ranks
+from repro.core.sds_indexed import indexed_reverse_k_ranks
+from repro.core.sds_static import static_reverse_k_ranks
+from repro.core.types import QueryResult
+from repro.errors import BichromaticError, IndexParameterError
+from repro.graph.partition import BichromaticPartition
+
+NodeId = Hashable
+
+__all__ = ["ReverseKRanksEngine"]
+
+
+class ReverseKRanksEngine:
+    """Facade dispatching reverse k-ranks queries to the paper's algorithms.
+
+    Parameters
+    ----------
+    graph:
+        The graph to query.
+    partition:
+        Optional :class:`~repro.graph.partition.BichromaticPartition`; when
+        set, every query is bichromatic (and the indexed algorithm is
+        unavailable, because the hub index stores monochromatic ranks).
+    index:
+        Optional prebuilt :class:`~repro.core.hub_index.HubIndex` for the
+        indexed algorithm; :meth:`build_index` constructs one in place.
+    """
+
+    def __init__(
+        self,
+        graph,
+        partition: Optional[BichromaticPartition] = None,
+        index: Optional[HubIndex] = None,
+    ) -> None:
+        if partition is not None and partition.graph is not graph:
+            raise BichromaticError(
+                "partition was built for a different graph than the engine's"
+            )
+        if partition is not None and index is not None:
+            raise IndexParameterError(
+                "the hub index stores monochromatic ranks and cannot serve "
+                "bichromatic queries; use separate engines"
+            )
+        if index is not None and index.graph is not graph:
+            raise IndexParameterError(
+                "hub index was built for a different graph than the engine's"
+            )
+        self._graph = graph
+        self._partition = partition
+        self._index = index
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The engine's graph."""
+        return self._graph
+
+    @property
+    def partition(self) -> Optional[BichromaticPartition]:
+        """The bichromatic partition, if any."""
+        return self._partition
+
+    @property
+    def index(self) -> Optional[HubIndex]:
+        """The hub index, if any."""
+        return self._index
+
+    @property
+    def is_bichromatic(self) -> bool:
+        """Whether queries run in bichromatic mode."""
+        return self._partition is not None
+
+    # ------------------------------------------------------------------
+    def build_index(
+        self,
+        num_hubs: Optional[int] = None,
+        explore_limit: Optional[int] = None,
+        capacity: int = 16,
+        strategy: Union[HubSelectionStrategy, str] = HubSelectionStrategy.DEGREE,
+        rng: Optional[random.Random] = None,
+    ) -> HubIndex:
+        """Build (and adopt) a hub index for the indexed algorithm."""
+        if self._partition is not None:
+            raise IndexParameterError(
+                "cannot build a hub index on a bichromatic engine"
+            )
+        self._index = HubIndex.build(
+            self._graph,
+            num_hubs=num_hubs,
+            explore_limit=explore_limit,
+            capacity=capacity,
+            strategy=strategy,
+            rng=rng,
+        )
+        return self._index
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: NodeId,
+        k: int,
+        algorithm: Union[AlgorithmKind, str] = AlgorithmKind.DYNAMIC,
+        bounds: Optional[BoundSet] = None,
+    ) -> QueryResult:
+        """Answer one reverse k-ranks query.
+
+        Parameters
+        ----------
+        query:
+            The query node (a facility node in bichromatic mode).
+        k:
+            Requested result size.
+        algorithm:
+            An :class:`AlgorithmKind` or its string value.
+        bounds:
+            Theorem-2 bound components for the dynamic/indexed algorithms.
+        """
+        kind = AlgorithmKind(algorithm)
+        if self._partition is not None:
+            return self._bichromatic_query(query, k, kind, bounds)
+
+        if kind is AlgorithmKind.NAIVE:
+            return naive_reverse_k_ranks(self._graph, query, k)
+        if kind is AlgorithmKind.STATIC:
+            return static_reverse_k_ranks(self._graph, query, k)
+        if kind is AlgorithmKind.DYNAMIC:
+            return dynamic_reverse_k_ranks(self._graph, query, k, bounds=bounds)
+        if self._index is None:
+            raise IndexParameterError(
+                "no hub index available; call build_index() or pass one to "
+                "the engine before using the indexed algorithm"
+            )
+        return indexed_reverse_k_ranks(
+            self._graph, query, k, index=self._index, bounds=bounds
+        )
+
+    def _bichromatic_query(
+        self,
+        query: NodeId,
+        k: int,
+        kind: AlgorithmKind,
+        bounds: Optional[BoundSet],
+    ) -> QueryResult:
+        if kind is AlgorithmKind.INDEXED:
+            raise IndexParameterError(
+                "the indexed algorithm is monochromatic-only (the hub index "
+                "stores monochromatic ranks)"
+            )
+        if kind is AlgorithmKind.NAIVE:
+            return bichromatic_naive_reverse_k_ranks(self._partition, query, k)
+        if kind is AlgorithmKind.STATIC:
+            return bichromatic_reverse_k_ranks(
+                self._partition, query, k, bounds=BoundSet.none()
+            )
+        return bichromatic_reverse_k_ranks(self._partition, query, k, bounds=bounds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        mode = "bichromatic" if self.is_bichromatic else "monochromatic"
+        indexed = "indexed" if self._index is not None else "no-index"
+        return f"<ReverseKRanksEngine {mode} {indexed} graph={self._graph!r}>"

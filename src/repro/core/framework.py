@@ -25,12 +25,17 @@ Correctness under pruning
 -------------------------
 Because pruned subtrees are not expanded, the traversal may later reach a
 pruned node's descendant through a longer, non-shortest path; such a node's
-popped distance (and therefore its height bound, ``lcount`` bound and refined
-rank) can be over-estimates.  This never affects the returned result: by
-induction over the pop order, every node whose popped distance is inflated is
-a descendant of a genuinely-prunable node, hence its true rank already
-exceeds the final ``kRank`` and it can neither enter the result set nor cause
-a true result to be pruned.  (See DESIGN.md §5.)
+popped distance (and therefore its height and ``lcount`` bounds) can be
+over-estimates.  Refined ranks stay exact regardless: the refinement settles
+the query node itself inside the (possibly inflated) radius, so every rank
+offered to the result set is the true ``Rank(p, q)``.  Over-estimated
+*bounds* can only prune nodes whose popped distance is inflated, and by
+induction over the pop order every such node descends from a
+genuinely-prunable node, hence its true rank is at least the ``kRank`` in
+force when it is pruned — it can neither displace a strictly-better result
+nor change the result's rank values.  Only the identity of entries tied at
+the final ``kRank`` may differ from the brute-force baseline.  (See
+DESIGN.md §5 and :func:`repro.core.validation.results_equivalent`.)
 """
 
 from __future__ import annotations
@@ -315,6 +320,7 @@ class SDSTreeSearch:
         outcome = refine_rank(
             self._graph,
             node,
+            self._query,
             radius=distance,
             k_rank=k_rank,
             counted=self._counted,
@@ -332,6 +338,13 @@ class SDSTreeSearch:
         return outcome.rank
 
     def _make_push_hook(self) -> Optional[Callable[[NodeId], None]]:
+        # Lemma-3 validity of lcount survives inflated radii: lcount[w] is
+        # only read when w pops after the refined node p, so by heap
+        # monotonicity d(p, w) < radius <= popped(w).  When w's pop is exact
+        # (popped(w) = d(q, w)) every recorded visit therefore comes from a
+        # node strictly closer to w than q — a true rank witness — and when
+        # w's pop is inflated, w descends from a pruned node and its true
+        # rank already reaches the kRank in force (see the module docstring).
         if not self._count_bound_active:
             return None
         lcount = self._lcount

@@ -1,0 +1,225 @@
+"""The hub index: Check Dictionary + Reverse Rank Dictionary (Section 5).
+
+The index precomputes, for ``H`` hub vertices, the ranks of their ``M``
+nearest neighbours (one truncated Dijkstra per hub) and serves three duties
+during a query for ``q``:
+
+* **seeding** — every stored ``Rank(h, q)`` entry (Reverse Rank Dictionary)
+  is offered to the result set before the traversal starts, tightening
+  ``kRank`` early;
+* **answering** — when the traversal settles a node ``p`` whose exact
+  ``Rank(p, q)`` is stored, the refinement is skipped entirely;
+* **pruning** — the Check Dictionary stores, per explored source ``p``, the
+  largest rank value its explorations assigned.  If ``q`` was *not* among the
+  nodes settled from ``p``, then ``d(p, q)`` is at least the distance of the
+  last node settled from ``p``, hence ``Rank(p, q)`` is at least that largest
+  recorded rank — a valid lower bound even under distance ties, because
+  recorded ranks already count only *strictly closer* tie groups.
+
+The framework only consults :meth:`check_value` after :meth:`known_rank`
+returned ``None`` for the current query, which is exactly the situation where
+the bound is sound.
+
+The index keeps learning: every rank refinement performed by the indexed
+algorithm reports its settled nodes back via :meth:`record_rank` /
+:meth:`record_exploration` (Algorithm 4), so repeated queries on the same
+index get progressively cheaper.
+
+The stored ranks are **monochromatic** (every node counts).  Bichromatic
+queries use different rank semantics and must not share an index; the engine
+enforces this.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+from repro.core.hubs import HubSelectionStrategy, select_hubs
+from repro.errors import IndexCapacityError, IndexParameterError, NodeNotFoundError
+from repro.traversal.rank import rank_stream
+
+NodeId = Hashable
+
+__all__ = ["HubIndex"]
+
+
+class HubIndex:
+    """Precomputed rank knowledge shared by indexed reverse k-ranks queries.
+
+    Parameters
+    ----------
+    graph:
+        The graph the index describes.  Queries with a different graph are
+        rejected by :meth:`ensure_compatible`.
+    capacity:
+        The paper's ``K``: only ranks ``<= capacity`` enter the Reverse Rank
+        Dictionary, and queries must request ``k <= capacity``.
+    hubs:
+        The hub vertices whose neighbourhoods were (or will be) explored.
+
+    Use :meth:`build` to construct and populate an index in one step.
+    """
+
+    __slots__ = ("_graph", "_capacity", "_hubs", "_known", "_reverse", "_check", "_explored")
+
+    def __init__(self, graph, capacity: int, hubs=()) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity <= 0:
+            raise IndexParameterError(
+                f"index capacity K must be a positive integer, got {capacity!r}"
+            )
+        self._graph = graph
+        self._capacity = capacity
+        self._hubs: List[NodeId] = list(hubs)
+        for hub in self._hubs:
+            if not graph.has_node(hub):
+                raise NodeNotFoundError(hub)
+        #: source -> target -> exact Rank(source, target)
+        self._known: Dict[NodeId, Dict[NodeId, int]] = {}
+        #: target -> source -> rank  (the Reverse Rank Dictionary)
+        self._reverse: Dict[NodeId, Dict[NodeId, int]] = {}
+        #: source -> largest rank ever recorded from it (the Check Dictionary)
+        self._check: Dict[NodeId, int] = {}
+        #: source -> total nodes settled across its explorations
+        self._explored: Dict[NodeId, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph,
+        num_hubs: Optional[int] = None,
+        explore_limit: Optional[int] = None,
+        capacity: int = 16,
+        strategy: Union[HubSelectionStrategy, str] = HubSelectionStrategy.DEGREE,
+        hubs=None,
+        rng: Optional[random.Random] = None,
+    ) -> "HubIndex":
+        """Select hubs and precompute their neighbourhood ranks.
+
+        Parameters
+        ----------
+        num_hubs:
+            The paper's ``H``; defaults to ``max(1, |V| // 8)``.  Ignored
+            when ``hubs`` is given explicitly.
+        explore_limit:
+            The paper's ``M``: how many nodes each hub exploration settles.
+            Defaults to the whole graph (exact on small graphs).
+        capacity:
+            The paper's ``K`` (largest supported query ``k``).
+        strategy:
+            Hub selection strategy, see :func:`~repro.core.hubs.select_hubs`.
+        hubs:
+            Explicit hub vertices, bypassing strategy selection.
+        rng:
+            Random generator forwarded to hub selection.
+        """
+        if hubs is None:
+            if num_hubs is None:
+                num_hubs = max(1, graph.num_nodes // 8)
+            hubs = select_hubs(graph, num_hubs, strategy=strategy, rng=rng)
+        index = cls(graph, capacity, hubs)
+        limit = graph.num_nodes if explore_limit is None else explore_limit
+        if limit <= 0:
+            raise IndexParameterError(
+                f"explore_limit M must be a positive integer, got {explore_limit!r}"
+            )
+        for hub in index._hubs:
+            index._explore_hub(hub, limit)
+        return index
+
+    def _explore_hub(self, hub: NodeId, limit: int) -> None:
+        """Settle up to ``limit`` nodes around ``hub``, recording their ranks."""
+        settled = 0
+        for node, _, rank in rank_stream(self._graph, hub):
+            self.record_rank(hub, node, int(rank))
+            settled += 1
+            if settled >= limit:
+                break
+        self.record_exploration(hub, settled)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The graph this index was built for."""
+        return self._graph
+
+    @property
+    def capacity(self) -> int:
+        """The largest ``k`` the index supports (the paper's ``K``)."""
+        return self._capacity
+
+    @property
+    def hubs(self) -> List[NodeId]:
+        """The hub vertices."""
+        return list(self._hubs)
+
+    @property
+    def num_known_ranks(self) -> int:
+        """Total number of exact rank entries stored."""
+        return sum(len(targets) for targets in self._known.values())
+
+    def explored_count(self, node: NodeId) -> int:
+        """Total nodes settled by explorations from ``node``."""
+        return self._explored.get(node, 0)
+
+    # ------------------------------------------------------------------
+    # Query-time surface (called by the framework)
+    # ------------------------------------------------------------------
+    def ensure_compatible(self, graph, k: int) -> None:
+        """Reject queries on a different graph or with ``k`` beyond capacity."""
+        if graph is not self._graph:
+            raise IndexParameterError(
+                "hub index was built for a different graph; rebuild it"
+            )
+        if k > self._capacity:
+            raise IndexCapacityError(k, self._capacity)
+
+    def known_rank(self, source: NodeId, target: NodeId) -> Optional[int]:
+        """Exact ``Rank(source, target)`` if recorded, else ``None``."""
+        entries = self._known.get(source)
+        if entries is None:
+            return None
+        return entries.get(target)
+
+    def known_reverse_ranks(self, target: NodeId) -> List[Tuple[NodeId, int]]:
+        """All recorded ``(source, Rank(source, target))`` pairs.
+
+        Sorted by rank (ties by ``repr``) so result seeding is deterministic.
+        """
+        entries = self._reverse.get(target, {})
+        return sorted(entries.items(), key=lambda pair: (pair[1], repr(pair[0])))
+
+    def check_value(self, node: NodeId) -> Optional[int]:
+        """Check-Dictionary lower bound on ``Rank(node, q)`` for unknown ``q``.
+
+        Only valid when ``known_rank(node, q)`` is ``None`` — see the module
+        docstring for the argument.
+        """
+        return self._check.get(node)
+
+    # ------------------------------------------------------------------
+    # Learning (called during index build and by indexed refinements)
+    # ------------------------------------------------------------------
+    def record_rank(self, source: NodeId, target: NodeId, rank: int) -> None:
+        """Store the exact ``Rank(source, target)`` discovered by a search."""
+        self._known.setdefault(source, {})[target] = rank
+        if rank <= self._capacity:
+            self._reverse.setdefault(target, {})[source] = rank
+        current = self._check.get(source)
+        if current is None or rank > current:
+            self._check[source] = rank
+
+    def record_exploration(self, node: NodeId, settled: int) -> None:
+        """Account one exploration from ``node`` that settled ``settled`` nodes."""
+        self._explored[node] = self._explored.get(node, 0) + settled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<HubIndex hubs={len(self._hubs)} capacity={self._capacity} "
+            f"known_ranks={self.num_known_ranks}>"
+        )

@@ -1,0 +1,84 @@
+"""Hub selection for the hub index (paper Section 5.1).
+
+The paper selects ``H`` hub vertices whose neighbourhood ranks are
+precomputed, betting that queries tend to land near central vertices.  Two
+strategies are evaluated: *Degree First* (highest out-degree) and *Closeness
+First* (highest — by default approximate — closeness centrality).  A uniform
+random baseline is included for the ablation experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Hashable, List, Optional, Union
+
+from repro.centrality import nodes_by_closeness, nodes_by_degree
+from repro.errors import IndexParameterError
+
+NodeId = Hashable
+
+__all__ = ["HubSelectionStrategy", "select_hubs"]
+
+
+class HubSelectionStrategy(str, enum.Enum):
+    """How the hub vertices of the index are chosen."""
+
+    DEGREE = "degree"
+    CLOSENESS = "closeness"
+    RANDOM = "random"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def select_hubs(
+    graph,
+    num_hubs: int,
+    strategy: Union[HubSelectionStrategy, str] = HubSelectionStrategy.DEGREE,
+    rng: Optional[random.Random] = None,
+    approximate_closeness: bool = True,
+    num_samples: int = 16,
+) -> List[NodeId]:
+    """Pick ``num_hubs`` hub vertices of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The graph the index will be built for.
+    num_hubs:
+        Requested number of hubs (clamped to ``|V|``).
+    strategy:
+        A :class:`HubSelectionStrategy` or its string value.
+    rng:
+        Random generator used by the ``RANDOM`` strategy and the sampled
+        closeness estimator; defaults to ``random.Random(0)`` so hub choice
+        is reproducible.
+    approximate_closeness:
+        Whether the ``CLOSENESS`` strategy uses the sampling estimator
+        (the paper's choice) or the exact computation.
+    num_samples:
+        Sample count for approximate closeness.
+    """
+    if not isinstance(num_hubs, int) or isinstance(num_hubs, bool) or num_hubs <= 0:
+        raise IndexParameterError(f"num_hubs must be a positive integer, got {num_hubs!r}")
+    strategy = HubSelectionStrategy(strategy)
+    num_hubs = min(num_hubs, graph.num_nodes)
+    rng = rng or random.Random(0)
+
+    if strategy is HubSelectionStrategy.DEGREE:
+        ordered = nodes_by_degree(graph)
+    elif strategy is HubSelectionStrategy.CLOSENESS:
+        ordered = nodes_by_closeness(
+            graph,
+            approximate=approximate_closeness,
+            num_samples=num_samples,
+            rng=rng,
+        )
+    else:
+        # Sample from a deterministically ordered population so the result
+        # depends only on the seed, not on node insertion order.
+        population = sorted(graph.nodes(), key=repr)
+        return rng.sample(population, num_hubs)
+
+    return ordered[:num_hubs]

@@ -1,19 +1,32 @@
 """Rank refinement: the ``GetRank`` procedure (paper Algorithm 2 / 4).
 
-Given a candidate node ``p`` and its distance ``d(p, q)`` to the query node,
-the refinement counts how many nodes are strictly closer to ``p`` than ``q``
-is, by running a Dijkstra search from ``p`` that is *radius-bounded* by
-``d(p, q)``: only nodes whose tentative distance is strictly smaller than the
-radius are ever pushed.  The count of pushed (counted) nodes plus one is
-exactly ``Rank(p, q)``.
+Given a candidate node ``p`` and a known path length ``radius >= d(p, q)``,
+the refinement computes ``Rank(p, q)`` exactly by running a Dijkstra search
+from ``p`` until the query node ``q`` itself is settled: the rank is one plus
+the number of counted nodes settled in tie groups *strictly closer* than
+``q``.
+
+Settling ``q`` (rather than counting every push inside an exclusive radius)
+is what keeps refined ranks exact even when ``radius`` over-estimates
+``d(p, q)``: under Theorem-1 subtree pruning the SDS-tree may reach ``p``
+through a longer-than-shortest path, but the refinement still settles ``q``
+at its true distance, so the strictly-closer count is unaffected.  The
+radius is deliberately *not* used to filter the frontier — the same path
+summed from the two ends can differ in the last float ulp, so an inclusive
+radius filter can exclude ``q`` itself; terminating on ``q``'s settling
+bounds the search by the true ``d(p, q)`` ball anyway, which is the same
+region the paper's radius bound describes.
 
 Two early-exit / instrumentation features mirror the paper:
 
-* as soon as the partial count exceeds the current ``kRank`` bound the search
-  aborts and returns :data:`~repro.core.types.PRUNED` (Algorithm 2, line 17);
-* optional callbacks report every *pushed* node (used to maintain the
-  ``lcount`` bound of Theorem 2) and every *settled* node together with its
-  rank with respect to ``p`` (used to update the hub index, Algorithm 4).
+* whenever a tie group closes with the partial rank already above the
+  current ``kRank`` bound the search aborts and returns
+  :data:`~repro.core.types.PRUNED` (Algorithm 2, line 17) — the partial rank
+  is a valid lower bound on ``Rank(p, q)`` because ``q`` is still unsettled;
+* optional callbacks report every node *pushed* strictly inside the radius
+  (used to maintain the ``lcount`` bound of Theorem 2) and every *settled*
+  node together with its exact rank with respect to ``p`` — including ``q``
+  itself — (used to update the hub index, Algorithm 4).
 """
 
 from __future__ import annotations
@@ -38,10 +51,11 @@ class RefinementOutcome:
     rank:
         The exact ``Rank(p, q)`` value, or :data:`PRUNED` (-1) when the
         refinement aborted because the rank is guaranteed to exceed the
-        ``k_rank`` bound.
+        ``k_rank`` bound (or ``target`` was not reachable at all, which
+        cannot happen for a radius obtained from a real ``p -> q`` path).
     settled:
-        Number of nodes settled (popped with exact distance) by the search.
-        This is what the indexed algorithm records in the Check Dictionary.
+        Number of nodes settled (popped with exact distance) by the search,
+        excluding the source.
     pushed:
         Number of nodes pushed onto the refinement frontier.
     """
@@ -59,13 +73,14 @@ class RefinementOutcome:
 def refine_rank(
     graph,
     source: NodeId,
+    target: NodeId,
     radius: float,
     k_rank: float = float("inf"),
     counted: Optional[Callable[[NodeId], bool]] = None,
     on_push: Optional[Callable[[NodeId], None]] = None,
     on_settle: Optional[Callable[[NodeId, int], None]] = None,
 ) -> RefinementOutcome:
-    """Compute ``Rank(source, q)`` given ``radius = d(source, q)``.
+    """Compute ``Rank(source, target)`` given a path length ``radius``.
 
     Parameters
     ----------
@@ -74,23 +89,28 @@ def refine_rank(
         (distances measured from ``source`` outwards).
     source:
         The candidate node ``p`` being refined.
+    target:
+        The query node ``q`` whose settling terminates the search.
     radius:
-        The shortest-path distance ``d(source, q)``; only nodes strictly
-        closer than this participate in the rank.
+        The length of a known ``source -> target`` path (so
+        ``radius >= d(source, target)``).  Used only to gate the ``on_push``
+        callback; the search itself terminates by settling ``target``.
     k_rank:
-        Current pruning bound.  As soon as the partial rank exceeds this the
-        refinement aborts with :data:`PRUNED`.
+        Current pruning bound.  As soon as a closed tie group pushes the
+        partial rank above this the refinement aborts with :data:`PRUNED`.
     counted:
         Optional predicate restricting which nodes contribute to the rank
         (bichromatic queries count only facility nodes).  All nodes within
         the radius are still traversed, they just may not be counted.
     on_push:
-        Callback invoked once per node pushed onto the frontier (excluding
-        ``source``).  Used to maintain the ``lcount`` lower bound.
+        Callback invoked once per node pushed *strictly* inside the radius
+        (excluding ``source``).  Used to maintain the ``lcount`` lower
+        bound, whose Lemma 3 argument needs the strict inequality.
     on_settle:
         Callback ``on_settle(node, rank_of_node)`` invoked for every settled
-        node other than ``source`` with its exact rank with respect to
-        ``source``.  Used to update the Reverse Rank Dictionary.
+        node other than ``source`` — including ``target`` — with its exact
+        rank with respect to ``source``.  Used to update the Reverse Rank
+        Dictionary.
 
     Returns
     -------
@@ -99,11 +119,13 @@ def refine_rank(
     heap: AddressableHeap = AddressableHeap()
     heap.push(source, 0.0)
     settled: dict = {}
-    rank = 1
     pushed = 0
+    # Nodes already reported to on_push; a node may only cross below the
+    # radius via a later decrease-key, and must be reported exactly once.
+    notified: Optional[set] = set() if on_push is not None else None
 
-    # Tie-group bookkeeping for on_settle ranks: nodes settled at the same
-    # distance share the same "number of strictly closer" count.
+    # Tie-group bookkeeping: nodes settled at the same distance share the
+    # same "number of strictly closer" count.
     closer_counted = 0
     tie_counted = 0
     previous_distance: Optional[float] = None
@@ -112,12 +134,22 @@ def refine_rank(
         node, distance = heap.pop()
         settled[node] = distance
 
-        if node != source and on_settle is not None:
+        if node != source:
             if previous_distance is None or distance > previous_distance:
                 closer_counted += tie_counted
                 tie_counted = 0
                 previous_distance = distance
-            on_settle(node, closer_counted + 1)
+                if closer_counted + 1 > k_rank:
+                    return RefinementOutcome(
+                        rank=PRUNED, settled=len(settled) - 1, pushed=pushed
+                    )
+            rank = closer_counted + 1
+            if on_settle is not None:
+                on_settle(node, rank)
+            if node == target:
+                return RefinementOutcome(
+                    rank=rank, settled=len(settled) - 1, pushed=pushed
+                )
             if counted is None or counted(node):
                 tie_counted += 1
 
@@ -127,18 +159,14 @@ def refine_rank(
             candidate = distance + weight
             if neighbor in heap:
                 heap.decrease_key(neighbor, candidate)
-                continue
-            if candidate >= radius:
-                continue
-            heap.push(neighbor, candidate)
-            pushed += 1
-            if on_push is not None:
+            else:
+                heap.push(neighbor, candidate)
+                pushed += 1
+            if notified is not None and candidate < radius and neighbor not in notified:
+                notified.add(neighbor)
                 on_push(neighbor)
-            if counted is None or counted(neighbor):
-                rank += 1
-                if rank > k_rank:
-                    return RefinementOutcome(
-                        rank=PRUNED, settled=len(settled) - 1, pushed=pushed
-                    )
 
-    return RefinementOutcome(rank=rank, settled=len(settled) - 1, pushed=pushed)
+    # Target not reachable at all: impossible when the radius came from an
+    # actual source -> target path; for direct API misuse the search
+    # degenerates to "rank exceeds everything seen", i.e. pruned.
+    return RefinementOutcome(rank=PRUNED, settled=len(settled) - 1, pushed=pushed)

@@ -1,0 +1,46 @@
+"""Top-k proximity queries and the agreement rate (paper Section 6.2).
+
+The effectiveness study compares what a plain top-k (k-nearest) query, a
+reverse top-k query and a reverse k-ranks query each return.  This module
+provides the top-k side plus the *agreement rate* metric used for Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Set, Union
+
+from repro.core.types import QueryResult
+from repro.traversal.knn import k_nearest_nodes
+
+NodeId = Hashable
+NodeCollection = Union[QueryResult, Iterable[NodeId]]
+
+__all__ = ["top_k_nodes", "agreement_rate"]
+
+
+def top_k_nodes(graph, source: NodeId, k: int) -> List[NodeId]:
+    """The ``k`` nodes nearest to ``source``, nearest first.
+
+    Thin convenience over :func:`~repro.traversal.knn.k_nearest_nodes` that
+    drops the distances, matching how the effectiveness tables list results.
+    """
+    return [node for node, _ in k_nearest_nodes(graph, source, k)]
+
+
+def _node_set(collection: NodeCollection) -> Set[NodeId]:
+    if isinstance(collection, QueryResult):
+        return set(collection.nodes())
+    return set(collection)
+
+
+def agreement_rate(first: NodeCollection, second: NodeCollection) -> float:
+    """Jaccard agreement between two result node sets.
+
+    Accepts :class:`~repro.core.types.QueryResult` objects or plain node
+    iterables.  Two empty results agree perfectly (rate ``1.0``).
+    """
+    left = _node_set(first)
+    right = _node_set(second)
+    if not left and not right:
+        return 1.0
+    return len(left & right) / len(left | right)

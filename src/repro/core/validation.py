@@ -1,0 +1,125 @@
+"""Cross-validation of the optimised algorithms against the naive baseline.
+
+Two results are considered *equivalent* when they answer the same query with
+the same rank values, and agree on every node whose rank is strictly below
+the k-th (largest) rank.  Nodes tied exactly at the k-th rank may legally
+differ between algorithms: the traversal's bound pruning can discard a
+candidate whose rank equals the final ``kRank`` before the collector's
+deterministic tie-break sees it, which changes the identity of boundary
+entries but never a rank value.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Optional
+
+from repro.core.bichromatic import (
+    bichromatic_naive_reverse_k_ranks,
+    bichromatic_reverse_k_ranks,
+)
+from repro.core.config import BoundSet
+from repro.core.hub_index import HubIndex
+from repro.core.naive import naive_reverse_k_ranks
+from repro.core.sds_dynamic import dynamic_reverse_k_ranks
+from repro.core.sds_indexed import indexed_reverse_k_ranks
+from repro.core.sds_static import static_reverse_k_ranks
+from repro.core.types import QueryResult
+from repro.errors import CrossValidationError
+from repro.graph.partition import BichromaticPartition
+
+NodeId = Hashable
+
+__all__ = ["results_equivalent", "validate_against_naive"]
+
+
+def results_equivalent(expected: QueryResult, actual: QueryResult) -> bool:
+    """Whether two query results are interchangeable answers.
+
+    Requires identical query node, ``k``, result size and sorted rank
+    values; entries strictly below the boundary rank must match exactly
+    (node *and* rank), while boundary-tied entries only need matching
+    multiplicity (already implied by the rank values).
+    """
+    if expected.query != actual.query or expected.k != actual.k:
+        return False
+    if len(expected) != len(actual):
+        return False
+    if expected.rank_values() != actual.rank_values():
+        return False
+    if not expected.entries:
+        return True
+    boundary = expected.rank_values()[-1]
+    below_expected = {
+        entry.node: entry.rank for entry in expected.entries if entry.rank < boundary
+    }
+    below_actual = {
+        entry.node: entry.rank for entry in actual.entries if entry.rank < boundary
+    }
+    return below_expected == below_actual
+
+
+def validate_against_naive(
+    graph,
+    query: NodeId,
+    k: int,
+    partition: Optional[BichromaticPartition] = None,
+    index: Optional[HubIndex] = None,
+    bounds: Optional[BoundSet] = None,
+    rng: Optional[random.Random] = None,
+) -> Dict[str, QueryResult]:
+    """Run every applicable algorithm and check it against the naive answer.
+
+    Parameters
+    ----------
+    graph:
+        The graph to query (ignored in favour of ``partition.graph`` when a
+        partition is given).
+    partition:
+        When set, the bichromatic variants are validated instead of the
+        monochromatic ones (and the indexed algorithm is skipped — the hub
+        index is monochromatic-only).
+    index:
+        Optional hub index enabling validation of the indexed algorithm.
+    bounds:
+        Bound components for the dynamic algorithm (defaults to all).
+    rng:
+        Unused placeholder kept for signature stability of future sampled
+        validations.
+
+    Returns
+    -------
+    dict
+        ``{"naive": ..., "static": ..., "dynamic": ..., ["indexed": ...]}``.
+
+    Raises
+    ------
+    CrossValidationError
+        When any optimised algorithm disagrees with the baseline.
+    """
+    if partition is not None:
+        baseline = bichromatic_naive_reverse_k_ranks(partition, query, k)
+        contenders = {
+            "static": bichromatic_reverse_k_ranks(
+                partition, query, k, bounds=BoundSet.none()
+            ),
+            "dynamic": bichromatic_reverse_k_ranks(partition, query, k, bounds=bounds),
+        }
+    else:
+        baseline = naive_reverse_k_ranks(graph, query, k)
+        contenders = {
+            "static": static_reverse_k_ranks(graph, query, k),
+            "dynamic": dynamic_reverse_k_ranks(graph, query, k, bounds=bounds),
+        }
+        if index is not None:
+            contenders["indexed"] = indexed_reverse_k_ranks(
+                graph, query, k, index=index, bounds=bounds
+            )
+
+    for label, result in contenders.items():
+        if not results_equivalent(baseline, result):
+            raise CrossValidationError(
+                f"{label} disagrees with naive for query={query!r}, k={k}: "
+                f"naive={baseline.as_pairs()!r} vs {label}={result.as_pairs()!r}"
+            )
+    return {"naive": baseline, **contenders}

@@ -102,6 +102,10 @@ class BichromaticError(QueryError, ValueError):
     """Raised when bichromatic query constraints are violated."""
 
 
+class CrossValidationError(ReproError, AssertionError):
+    """Raised when an optimised algorithm disagrees with the naive baseline."""
+
+
 class DatasetError(ReproError):
     """Raised when a synthetic dataset cannot be generated or loaded."""
 

@@ -21,7 +21,7 @@ from repro.traversal.dijkstra import (
 )
 from repro.traversal.sssp import ShortestPathTree
 from repro.traversal.knn import k_nearest_nodes
-from repro.traversal.rank import exact_rank, rank_row, rank_matrix
+from repro.traversal.rank import exact_rank, rank_row, rank_stream, rank_matrix
 
 __all__ = [
     "AddressableHeap",
@@ -33,5 +33,6 @@ __all__ = [
     "k_nearest_nodes",
     "exact_rank",
     "rank_row",
+    "rank_stream",
     "rank_matrix",
 ]

@@ -10,14 +10,14 @@ They are intentionally simple and unoptimised — correctness reference first.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Optional
+from typing import Callable, Dict, Hashable, Iterator, Optional, Tuple
 
 from repro.errors import NodeNotFoundError
-from repro.traversal.dijkstra import shortest_path_distances
+from repro.traversal.dijkstra import DijkstraSearch, shortest_path_distances
 
 NodeId = Hashable
 
-__all__ = ["exact_rank", "rank_row", "rank_matrix"]
+__all__ = ["exact_rank", "rank_row", "rank_stream", "rank_matrix"]
 
 
 def exact_rank(
@@ -68,6 +68,47 @@ def exact_rank(
     return closer + 1
 
 
+def rank_stream(
+    graph,
+    source: NodeId,
+    counted: Optional[Callable[[NodeId], bool]] = None,
+) -> Iterator[Tuple[NodeId, float, float]]:
+    """Yield ``(node, distance, Rank(source, node))`` in settling order.
+
+    One lazy Dijkstra run from ``source``; nodes settled at the same
+    distance form a tie group and share the same "number of strictly
+    closer counted nodes".  :func:`rank_row` and the hub-index
+    construction both consume this stream (the bounded refinement keeps
+    its own loop because of its ``kRank`` abort and radius-gated hooks);
+    consumers may stop iterating at any point (e.g. after ``M`` nodes)
+    and every rank yielded so far is exact.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    return _rank_stream(graph, source, counted)
+
+
+def _rank_stream(
+    graph,
+    source: NodeId,
+    counted: Optional[Callable[[NodeId], bool]],
+) -> Iterator[Tuple[NodeId, float, float]]:
+    search = DijkstraSearch(graph, source)
+    closer_counted = 0
+    tie_counted = 0
+    previous_distance: Optional[float] = None
+    for node, distance in search.iter_settle():
+        if node == source:
+            continue
+        if previous_distance is None or distance > previous_distance:
+            closer_counted += tie_counted
+            tie_counted = 0
+            previous_distance = distance
+        yield node, distance, closer_counted + 1
+        if counted is None or counted(node):
+            tie_counted += 1
+
+
 def rank_row(
     graph,
     source: NodeId,
@@ -78,36 +119,7 @@ def rank_row(
     One full Dijkstra run is shared across all targets, so this is the
     efficient way to build whole rows of the rank matrix (Table 1).
     """
-    if not graph.has_node(source):
-        raise NodeNotFoundError(source)
-    distances = shortest_path_distances(graph, source)
-
-    # Sort reachable nodes by distance; the rank of a node is 1 + the number
-    # of counted nodes with strictly smaller distance.
-    others = [
-        (distance, node)
-        for node, distance in distances.items()
-        if node != source
-    ]
-    others.sort(key=lambda pair: pair[0])
-
-    ranks: Dict[NodeId, float] = {}
-    closer_counted = 0
-    index = 0
-    while index < len(others):
-        # Process a tie group: all nodes at the same distance share the same
-        # "number of strictly closer" count.
-        tie_distance = others[index][0]
-        group = []
-        while index < len(others) and others[index][0] == tie_distance:
-            group.append(others[index][1])
-            index += 1
-        for node in group:
-            ranks[node] = closer_counted + 1
-        for node in group:
-            if counted is None or counted(node):
-                closer_counted += 1
-    return ranks
+    return {node: rank for node, _, rank in rank_stream(graph, source, counted=counted)}
 
 
 def rank_matrix(

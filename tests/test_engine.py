@@ -1,0 +1,115 @@
+"""Tests for the engine facade, algorithm dispatch and query statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AlgorithmKind,
+    BoundSet,
+    ReverseKRanksEngine,
+    results_equivalent,
+)
+from repro.errors import (
+    BichromaticError,
+    IndexParameterError,
+    InvalidKError,
+    InvalidQueryNodeError,
+)
+
+
+def test_engine_dispatches_all_algorithms(random_gnp):
+    engine = ReverseKRanksEngine(random_gnp)
+    engine.build_index(num_hubs=3, capacity=16)
+    baseline = engine.query(0, 4, AlgorithmKind.NAIVE)
+    for kind in ("static", "dynamic", "indexed"):
+        assert results_equivalent(baseline, engine.query(0, 4, kind))
+
+
+def test_engine_indexed_requires_index(random_gnp):
+    engine = ReverseKRanksEngine(random_gnp)
+    with pytest.raises(IndexParameterError):
+        engine.query(0, 2, AlgorithmKind.INDEXED)
+
+
+def test_engine_rejects_mismatched_partition(random_gnp, weighted_grid, bichromatic_case):
+    with pytest.raises(BichromaticError):
+        ReverseKRanksEngine(weighted_grid, partition=bichromatic_case)
+
+
+def test_engine_bichromatic_mode(bichromatic_case):
+    engine = ReverseKRanksEngine(bichromatic_case.graph, partition=bichromatic_case)
+    query = sorted(bichromatic_case.facilities, key=repr)[0]
+    baseline = engine.query(query, 3, AlgorithmKind.NAIVE)
+    assert all(bichromatic_case.is_community(node) for node in baseline.nodes())
+    for kind in (AlgorithmKind.STATIC, AlgorithmKind.DYNAMIC):
+        assert results_equivalent(baseline, engine.query(query, 3, kind))
+    with pytest.raises(IndexParameterError):
+        engine.query(query, 3, AlgorithmKind.INDEXED)
+    with pytest.raises(IndexParameterError):
+        engine.build_index(num_hubs=2)
+
+
+def test_engine_rejects_bichromatic_query_from_community(bichromatic_case):
+    engine = ReverseKRanksEngine(bichromatic_case.graph, partition=bichromatic_case)
+    community_node = sorted(bichromatic_case.communities, key=repr)[0]
+    with pytest.raises(BichromaticError):
+        engine.query(community_node, 2, AlgorithmKind.NAIVE)
+
+
+def test_invalid_query_arguments(random_gnp):
+    engine = ReverseKRanksEngine(random_gnp)
+    with pytest.raises(InvalidKError):
+        engine.query(0, 0)
+    with pytest.raises(InvalidKError):
+        engine.query(0, True)
+    with pytest.raises(InvalidQueryNodeError):
+        engine.query("missing", 2)
+    with pytest.raises(ValueError):
+        engine.query(0, 2, algorithm="no-such-algorithm")
+
+
+def test_dynamic_bounds_reduce_refinements(random_gnp):
+    engine = ReverseKRanksEngine(random_gnp)
+    static = engine.query(0, 3, AlgorithmKind.STATIC)
+    dynamic = engine.query(0, 3, AlgorithmKind.DYNAMIC)
+    naive = engine.query(0, 3, AlgorithmKind.NAIVE)
+    assert dynamic.stats.rank_refinements <= static.stats.rank_refinements
+    assert static.stats.rank_refinements <= naive.stats.rank_refinements
+    assert naive.stats.rank_refinements == random_gnp.num_nodes - 1
+
+
+def test_stats_record_pruning_work(random_gnp):
+    engine = ReverseKRanksEngine(random_gnp)
+    result = engine.query(0, 2, AlgorithmKind.DYNAMIC, bounds=BoundSet.all())
+    stats = result.stats.as_dict()
+    assert stats["tree_pops"] > 0
+    assert stats["elapsed_seconds"] >= 0
+    assert result.algorithm == "Dynamic-Three"
+    # The bound ablation presets surface in the result label.
+    parent_only = engine.query(0, 2, AlgorithmKind.DYNAMIC, bounds=BoundSet.parent_only())
+    assert parent_only.algorithm == "Dynamic-Parent"
+
+
+def test_indexed_engine_answers_from_index(random_gnp):
+    engine = ReverseKRanksEngine(random_gnp)
+    engine.build_index(num_hubs=4, capacity=16)
+    first = engine.query(0, 3, AlgorithmKind.INDEXED)
+    second = engine.query(0, 3, AlgorithmKind.INDEXED)
+    assert results_equivalent(first, second)
+    # The warmed index must answer or prune at least as much as on the
+    # first, colder run.
+    warm = second.stats.answered_by_index + second.stats.pruned_by_check_dictionary
+    cold = first.stats.answered_by_index + first.stats.pruned_by_check_dictionary
+    assert warm >= cold
+
+
+def test_query_result_container_protocol(random_gnp):
+    engine = ReverseKRanksEngine(random_gnp)
+    result = engine.query(0, 3, AlgorithmKind.NAIVE)
+    assert len(result) == len(result.nodes()) == len(result.as_pairs())
+    for entry in result:
+        assert entry.node in result
+        assert result.ranks()[entry.node] == entry.rank
+    assert result.kth_rank() == max(result.rank_values())
+    assert "reverse 3-ranks" in result.summary()
