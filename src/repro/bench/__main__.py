@@ -1,0 +1,146 @@
+"""``python -m repro.bench`` — the benchmark CLI.
+
+Examples
+--------
+Run the standard suite and write ``BENCH_core.json`` in the current
+directory (run it from the repo root to update the tracked trajectory)::
+
+    python -m repro.bench
+
+The tiny CI smoke run (seconds, all five families, validation on)::
+
+    python -m repro.bench --smoke
+
+Benchmark a subset of families with more repetitions::
+
+    python -m repro.bench --families gnp,powerlaw --repetitions 5
+
+Exit status is non-zero when any algorithm disagrees with the naive
+baseline or the CSR backend diverges from the dict backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.harness import run_suite
+from repro.bench.report import (
+    DEFAULT_REPORT_NAME,
+    build_report,
+    render_table,
+    write_report,
+)
+from repro.bench.workloads import WORKLOAD_FAMILIES, build_suite
+from repro.errors import CrossValidationError, WorkloadError
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Benchmark the four reverse k-ranks algorithms "
+            "(naive/static/dynamic/indexed) on seeded synthetic workloads "
+            "and write the BENCH_core.json trajectory report."
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI-sized workloads, 1 repetition, no warmup",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_REPORT_NAME,
+        help=f"report path (default: {DEFAULT_REPORT_NAME})",
+    )
+    parser.add_argument(
+        "--families",
+        default=None,
+        help=(
+            "comma-separated workload families to run "
+            f"(default: all of {','.join(WORKLOAD_FAMILIES)})"
+        ),
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=None,
+        help="timed repetitions per algorithm (default: 3, smoke: 1)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="untimed warmup batches per algorithm (default: 1, smoke: 0)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload generator seed (default: 0)"
+    )
+    parser.add_argument(
+        "--no-csr",
+        action="store_true",
+        help="run non-indexed queries on the dict backend instead of CSR",
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip in-run cross-validation against naive (not recommended)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress and table output"
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _parse_args(argv)
+    scale = "smoke" if args.smoke else "default"
+    repetitions = args.repetitions if args.repetitions is not None else (
+        1 if args.smoke else 3
+    )
+    warmup = args.warmup if args.warmup is not None else (0 if args.smoke else 1)
+    families = (
+        [name.strip() for name in args.families.split(",") if name.strip()]
+        if args.families
+        else None
+    )
+    progress = None if args.quiet else (lambda line: print(line, flush=True))
+
+    try:
+        workloads = build_suite(families=families, scale=scale, seed=args.seed)
+        results = run_suite(
+            workloads,
+            repetitions=repetitions,
+            warmup=warmup,
+            use_csr=not args.no_csr,
+            validate=not args.no_validate,
+            progress=progress,
+        )
+    except WorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CrossValidationError as exc:
+        print(f"CROSS-VALIDATION FAILURE: {exc}", file=sys.stderr)
+        return 1
+
+    report = build_report(
+        results,
+        config={
+            "scale": scale,
+            "repetitions": repetitions,
+            "warmup": warmup,
+            "seed": args.seed,
+            "use_csr": not args.no_csr,
+            "validate": not args.no_validate,
+            "families": [workload.family for workload in workloads],
+        },
+    )
+    path = write_report(report, args.output)
+    if not args.quiet:
+        print()
+        print(render_table(report))
+        print(f"\nreport written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,301 @@
+"""The benchmark timing harness.
+
+:func:`run_workload` times every applicable
+:class:`~repro.core.config.AlgorithmKind` on one
+:class:`~repro.bench.workloads.Workload` — warmup rounds first, then timed
+repetitions of the whole query batch through
+:meth:`~repro.core.engine.ReverseKRanksEngine.query_many` — and
+cross-validates every optimised algorithm's results against the naive
+baseline *during the run* (a disagreement raises
+:class:`~repro.errors.CrossValidationError`, which fails the CI smoke job).
+
+A backend consistency check additionally asserts that the
+:class:`~repro.graph.csr.CompactGraph` CSR backend returns results identical
+to the dict-backed graph, so the trajectory never silently benchmarks a
+backend that diverged.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.workloads import Workload
+from repro.core.config import AlgorithmKind
+from repro.core.engine import ReverseKRanksEngine
+from repro.core.types import QueryResult
+from repro.core.validation import results_equivalent
+from repro.errors import CrossValidationError
+
+__all__ = ["AlgorithmTiming", "WorkloadResult", "run_workload", "run_suite"]
+
+#: Canonical benchmarking order: the baseline first (its results seed the
+#: in-run validation), then by increasing sophistication.
+_KIND_ORDER = (
+    AlgorithmKind.NAIVE,
+    AlgorithmKind.STATIC,
+    AlgorithmKind.DYNAMIC,
+    AlgorithmKind.INDEXED,
+)
+
+
+@dataclass
+class AlgorithmTiming:
+    """Wall-clock timings (and work counters) for one algorithm on one workload."""
+
+    algorithm: str
+    repetitions: List[float] = field(default_factory=list)
+    index_build_seconds: Optional[float] = None
+    rank_refinements: int = 0
+    validated: Optional[bool] = None
+    speedup_vs_naive: Optional[float] = None
+    skipped: Optional[str] = None
+
+    @property
+    def mean_seconds(self) -> Optional[float]:
+        """Mean wall-clock seconds per timed repetition of the batch."""
+        if not self.repetitions:
+            return None
+        return statistics.fmean(self.repetitions)
+
+    @property
+    def best_seconds(self) -> Optional[float]:
+        """Fastest timed repetition of the batch."""
+        return min(self.repetitions) if self.repetitions else None
+
+    def per_query_seconds(self, num_queries: int) -> Optional[float]:
+        """Mean wall-clock seconds per individual query."""
+        mean = self.mean_seconds
+        if mean is None or num_queries <= 0:
+            return None
+        return mean / num_queries
+
+    def as_dict(self, num_queries: int) -> Dict[str, object]:
+        """JSON-ready view."""
+        payload: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "repetitions_seconds": list(self.repetitions),
+            "mean_seconds": self.mean_seconds,
+            "best_seconds": self.best_seconds,
+            "per_query_seconds": self.per_query_seconds(num_queries),
+            "rank_refinements": self.rank_refinements,
+            "validated": self.validated,
+            "speedup_vs_naive": self.speedup_vs_naive,
+        }
+        if self.index_build_seconds is not None:
+            payload["index_build_seconds"] = self.index_build_seconds
+        if self.skipped is not None:
+            payload["skipped"] = self.skipped
+        return payload
+
+
+@dataclass
+class WorkloadResult:
+    """All algorithm timings for one workload, plus its metadata."""
+
+    workload: Workload
+    backend: str
+    algorithms: Dict[str, AlgorithmTiming] = field(default_factory=dict)
+    backend_consistent: Optional[bool] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view."""
+        payload = self.workload.describe()
+        payload["backend"] = self.backend
+        payload["backend_consistent"] = self.backend_consistent
+        payload["algorithms"] = {
+            name: timing.as_dict(len(self.workload.queries))
+            for name, timing in self.algorithms.items()
+        }
+        return payload
+
+
+def _validate_batch(
+    workload: Workload,
+    baseline: List[QueryResult],
+    contender: List[QueryResult],
+    label: str,
+) -> None:
+    for expected, actual in zip(baseline, contender):
+        if not results_equivalent(expected, actual):
+            raise CrossValidationError(
+                f"{label} disagrees with naive on workload "
+                f"{workload.name!r} for query={expected.query!r}, "
+                f"k={workload.k}: naive={expected.as_pairs()!r} vs "
+                f"{label}={actual.as_pairs()!r}"
+            )
+
+
+def _check_backend_consistency(
+    workload: Workload,
+    engine: ReverseKRanksEngine,
+    timed_batch: List[QueryResult],
+    timed_on_csr: bool,
+) -> bool:
+    """Assert CSR-backed results are identical to dict-backed results.
+
+    The timed dynamic batch is reused as one side of the comparison; only
+    the opposite backend is evaluated here.
+    """
+    other_batch = engine.query_many(
+        workload.queries,
+        workload.k,
+        algorithm=AlgorithmKind.DYNAMIC,
+        use_csr=not timed_on_csr,
+    )
+    dict_results = other_batch if timed_on_csr else timed_batch
+    csr_results = timed_batch if timed_on_csr else other_batch
+    for expected, actual in zip(dict_results, csr_results):
+        if expected.as_pairs() != actual.as_pairs():
+            raise CrossValidationError(
+                f"CompactGraph backend diverges from the dict backend on "
+                f"workload {workload.name!r} for query={expected.query!r}: "
+                f"dict={expected.as_pairs()!r} vs csr={actual.as_pairs()!r}"
+            )
+    return True
+
+
+def run_workload(
+    workload: Workload,
+    repetitions: int = 3,
+    warmup: int = 1,
+    use_csr: bool = True,
+    validate: bool = True,
+    check_backend: bool = True,
+    num_hubs: Optional[int] = None,
+) -> WorkloadResult:
+    """Time all four algorithms on ``workload``.
+
+    Parameters
+    ----------
+    workload:
+        The workload to benchmark.
+    repetitions:
+        Timed repetitions of the full query batch per algorithm.
+    warmup:
+        Untimed warmup batches per algorithm (also pre-warms the hub index,
+        so indexed timings measure the warm steady state the paper reports).
+    use_csr:
+        Whether non-indexed monochromatic queries run on the CSR backend.
+    validate:
+        Cross-validate every algorithm's results against naive in-run.
+    check_backend:
+        Additionally assert CSR results == dict results (monochromatic only).
+    num_hubs:
+        Hub count for the indexed algorithm; defaults to ``max(1, |V| // 8)``.
+
+    Raises
+    ------
+    CrossValidationError
+        When any algorithm disagrees with the naive baseline, or the CSR
+        backend disagrees with the dict backend.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    graph = workload.graph
+    result = WorkloadResult(
+        workload=workload,
+        backend="csr" if use_csr and workload.partition is None else "dict",
+    )
+    baseline: Optional[List[QueryResult]] = None
+
+    # One engine per workload: its version-keyed CSR cache compiles the
+    # CompactGraph exactly once, outside every timed window (with warmup=0
+    # a per-kind engine would fold the compile into the first repetition).
+    engine = ReverseKRanksEngine(graph, partition=workload.partition)
+    if use_csr and workload.partition is None:
+        engine.compact_graph()
+
+    for kind in _KIND_ORDER:
+        timing = AlgorithmTiming(algorithm=kind.value)
+        result.algorithms[kind.value] = timing
+
+        if workload.partition is not None and kind is AlgorithmKind.INDEXED:
+            timing.skipped = "indexed algorithm is monochromatic-only"
+            continue
+
+        if kind is AlgorithmKind.INDEXED:
+            started = time.perf_counter()
+            engine.build_index(
+                num_hubs=num_hubs,
+                capacity=max(workload.k, 16),
+            )
+            timing.index_build_seconds = time.perf_counter() - started
+
+        for _ in range(warmup):
+            engine.query_many(
+                workload.queries, workload.k, algorithm=kind, use_csr=use_csr
+            )
+
+        batch: List[QueryResult] = []
+        for _ in range(repetitions):
+            started = time.perf_counter()
+            batch = engine.query_many(
+                workload.queries, workload.k, algorithm=kind, use_csr=use_csr
+            )
+            timing.repetitions.append(time.perf_counter() - started)
+
+        timing.rank_refinements = sum(
+            item.stats.rank_refinements for item in batch
+        )
+        if kind is AlgorithmKind.NAIVE:
+            baseline = batch
+            timing.speedup_vs_naive = 1.0
+            timing.validated = True
+        else:
+            if validate and baseline is not None:
+                _validate_batch(workload, baseline, batch, kind.value)
+                timing.validated = True
+            naive_timing = result.algorithms[AlgorithmKind.NAIVE.value]
+            if naive_timing.mean_seconds and timing.mean_seconds:
+                timing.speedup_vs_naive = (
+                    naive_timing.mean_seconds / timing.mean_seconds
+                )
+
+        if (
+            check_backend
+            and workload.partition is None
+            and kind is AlgorithmKind.DYNAMIC
+        ):
+            result.backend_consistent = _check_backend_consistency(
+                workload, engine, batch, timed_on_csr=use_csr
+            )
+
+    return result
+
+
+def run_suite(
+    workloads: List[Workload],
+    repetitions: int = 3,
+    warmup: int = 1,
+    use_csr: bool = True,
+    validate: bool = True,
+    check_backend: bool = True,
+    progress=None,
+) -> List[WorkloadResult]:
+    """Run every workload through :func:`run_workload`.
+
+    ``progress`` is an optional ``callable(str)`` invoked with a short
+    status line before each workload (the CLI passes ``print``).
+    """
+    results = []
+    for workload in workloads:
+        if progress is not None:
+            progress(
+                f"benchmarking {workload.name} "
+                f"(|V|={workload.num_nodes}, |E|={workload.num_edges}, "
+                f"{len(workload.queries)} queries, k={workload.k})"
+            )
+        results.append(
+            run_workload(
+                workload,
+                repetitions=repetitions,
+                warmup=warmup,
+                use_csr=use_csr,
+                validate=validate,
+                check_backend=check_backend,
+            )
+        )
+    return results

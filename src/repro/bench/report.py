@@ -1,0 +1,120 @@
+"""Benchmark report assembly and the ``BENCH_core.json`` writer.
+
+The JSON schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "generated_by": "repro.bench",
+      "created_at": "2026-07-30T12:00:00Z",       # UTC, ISO-8601
+      "environment": {"python": "...", "platform": "..."},
+      "config": {"scale": "smoke", "repetitions": 1, "warmup": 0,
+                 "seed": 0, "use_csr": true, "families": [...]},
+      "workloads": [
+        {
+          "name": "gnp-n120", "family": "gnp",
+          "num_nodes": 120, "num_edges": 362, "directed": false,
+          "bichromatic": false, "num_queries": 4, "k": 8, "seed": 0,
+          "params": {...}, "backend": "csr", "backend_consistent": true,
+          "algorithms": {
+            "naive":   {"mean_seconds": ..., "best_seconds": ...,
+                        "per_query_seconds": ..., "repetitions_seconds": [...],
+                        "rank_refinements": ..., "validated": true,
+                        "speedup_vs_naive": 1.0},
+            "static":  {...}, "dynamic": {...},
+            "indexed": {..., "index_build_seconds": ...}
+          }
+        }, ...
+      ]
+    }
+
+``validated`` is ``true`` only when the algorithm's batch results were
+checked against the naive baseline during the run, and
+``backend_consistent`` only when the CSR backend reproduced the dict
+backend's results exactly.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.bench.harness import WorkloadResult
+
+__all__ = ["SCHEMA_VERSION", "build_report", "write_report", "render_table"]
+
+SCHEMA_VERSION = 1
+
+#: Default report location — the repo-root trajectory file every later
+#: optimisation PR is judged against.
+DEFAULT_REPORT_NAME = "BENCH_core.json"
+
+
+def build_report(
+    results: List[WorkloadResult],
+    config: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the JSON-ready report document."""
+    created = datetime.datetime.now(datetime.timezone.utc)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "repro.bench",
+        "created_at": created.strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "config": dict(config or {}),
+        "workloads": [result.as_dict() for result in results],
+    }
+
+
+def write_report(
+    report: Dict[str, object],
+    path: Union[str, Path] = DEFAULT_REPORT_NAME,
+) -> Path:
+    """Write ``report`` as pretty-printed JSON; returns the resolved path."""
+    target = Path(path)
+    target.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return target.resolve()
+
+
+def _format_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def render_table(report: Dict[str, object]) -> str:
+    """A compact per-workload summary table for the CLI."""
+    lines = []
+    header = (
+        f"{'workload':<20} {'algo':<8} {'mean/query':>10} "
+        f"{'speedup':>8} {'refine':>7} {'ok':>3}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for workload in report["workloads"]:
+        for name, timing in workload["algorithms"].items():
+            if timing.get("skipped"):
+                lines.append(
+                    f"{workload['name']:<20} {name:<8} {'skipped':>10}"
+                )
+                continue
+            speedup = timing.get("speedup_vs_naive")
+            validated = timing.get("validated")
+            lines.append(
+                f"{workload['name']:<20} {name:<8} "
+                f"{_format_seconds(timing.get('per_query_seconds')):>10} "
+                f"{(f'{speedup:.1f}x' if speedup else '-'):>8} "
+                f"{timing.get('rank_refinements', 0):>7} "
+                f"{('y' if validated else '-'):>3}"
+            )
+    return "\n".join(lines)

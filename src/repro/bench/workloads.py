@@ -1,0 +1,336 @@
+"""Seeded benchmark workload generators.
+
+A *workload* bundles a synthetic graph, a deterministic set of query nodes
+and a result size ``k`` — everything :func:`repro.bench.harness.run_workload`
+needs to time the four algorithms against each other.  Five graph families
+mirror the shapes the paper's experiments stress:
+
+* ``path``        — the worst case for rank locality (long chains);
+* ``grid``        — planar, many near-ties;
+* ``gnp``         — Erdős–Rényi G(n, p), the paper's synthetic default;
+* ``powerlaw``    — preferential attachment (hub-heavy degree sequence),
+  the regime the hub index is designed for;
+* ``bichromatic`` — a G(n, p) with a facility/community split
+  (Definitions 3-4), queried from facility nodes.
+
+Every generator is parametric in size and fully determined by an explicit
+``seed`` (stdlib :mod:`random` only), so runs are reproducible and the
+recorded ``BENCH_core.json`` trajectory is comparable across commits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import WorkloadError
+from repro.graph import BichromaticPartition, Graph
+
+__all__ = [
+    "Workload",
+    "path_workload",
+    "grid_workload",
+    "gnp_workload",
+    "powerlaw_workload",
+    "bichromatic_workload",
+    "WORKLOAD_FAMILIES",
+    "build_suite",
+    "smoke_suite",
+    "default_suite",
+]
+
+
+@dataclass
+class Workload:
+    """One benchmark unit: a graph plus the queries to run against it."""
+
+    name: str
+    family: str
+    graph: Graph
+    queries: List[object]
+    k: int
+    seed: int
+    partition: Optional[BichromaticPartition] = None
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the workload graph."""
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the workload graph."""
+        return self.graph.num_edges
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready metadata describing this workload."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "directed": self.graph.directed,
+            "bichromatic": self.partition is not None,
+            "num_queries": len(self.queries),
+            "k": self.k,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+
+def _weight(rng: random.Random) -> float:
+    """A reproducible edge weight in [1, 10) with two decimals."""
+    return round(rng.uniform(1.0, 10.0), 2)
+
+
+def _sample_queries(
+    rng: random.Random, population, count: int, family: str
+) -> List[object]:
+    """Draw ``count`` distinct query nodes deterministically."""
+    ordered = sorted(population, key=repr)
+    if not ordered:
+        raise WorkloadError(f"{family} workload generated an empty query population")
+    count = min(count, len(ordered))
+    return rng.sample(ordered, count)
+
+
+def _check_k(k: int, candidates: int, family: str) -> int:
+    if candidates < 1:
+        raise WorkloadError(f"{family} workload has no candidate nodes")
+    return min(k, candidates)
+
+
+def path_workload(
+    num_nodes: int = 64,
+    seed: int = 0,
+    num_queries: int = 4,
+    k: int = 8,
+) -> Workload:
+    """A weighted path ``0 - 1 - ... - (n-1)``."""
+    if num_nodes < 2:
+        raise WorkloadError("path workload needs at least 2 nodes")
+    rng = random.Random(seed)
+    graph = Graph(name=f"path-{num_nodes}")
+    for node in range(num_nodes - 1):
+        graph.add_edge(node, node + 1, _weight(rng))
+    return Workload(
+        name=f"path-n{num_nodes}",
+        family="path",
+        graph=graph,
+        queries=_sample_queries(rng, graph.nodes(), num_queries, "path"),
+        k=_check_k(k, num_nodes - 1, "path"),
+        seed=seed,
+        params={"num_nodes": num_nodes},
+    )
+
+
+def grid_workload(
+    side: int = 8,
+    seed: int = 0,
+    num_queries: int = 4,
+    k: int = 8,
+) -> Workload:
+    """A ``side``×``side`` grid with random weights (many near-ties)."""
+    if side < 2:
+        raise WorkloadError("grid workload needs side >= 2")
+    rng = random.Random(seed)
+    graph = Graph(name=f"grid-{side}x{side}")
+    for row in range(side):
+        for col in range(side):
+            node = row * side + col
+            if col + 1 < side:
+                graph.add_edge(node, node + 1, _weight(rng))
+            if row + 1 < side:
+                graph.add_edge(node, node + side, _weight(rng))
+    return Workload(
+        name=f"grid-{side}x{side}",
+        family="grid",
+        graph=graph,
+        queries=_sample_queries(rng, graph.nodes(), num_queries, "grid"),
+        k=_check_k(k, side * side - 1, "grid"),
+        seed=seed,
+        params={"side": side},
+    )
+
+
+def gnp_workload(
+    num_nodes: int = 96,
+    avg_degree: float = 6.0,
+    directed: bool = False,
+    seed: int = 0,
+    num_queries: int = 4,
+    k: int = 8,
+) -> Workload:
+    """Erdős–Rényi G(n, p) with ``p`` derived from the target average degree."""
+    if num_nodes < 2:
+        raise WorkloadError("gnp workload needs at least 2 nodes")
+    rng = random.Random(seed)
+    probability = min(1.0, avg_degree / (num_nodes - 1))
+    graph = Graph(directed=directed, name=f"gnp-{num_nodes}")
+    graph.add_nodes(range(num_nodes))
+    for source in range(num_nodes):
+        start = 0 if directed else source + 1
+        for target in range(start, num_nodes):
+            if source == target:
+                continue
+            if rng.random() < probability:
+                graph.add_edge(source, target, _weight(rng))
+    return Workload(
+        name=f"gnp-n{num_nodes}{'-directed' if directed else ''}",
+        family="gnp",
+        graph=graph,
+        queries=_sample_queries(rng, graph.nodes(), num_queries, "gnp"),
+        k=_check_k(k, num_nodes - 1, "gnp"),
+        seed=seed,
+        params={
+            "num_nodes": num_nodes,
+            "avg_degree": avg_degree,
+            "directed": directed,
+        },
+    )
+
+
+def powerlaw_workload(
+    num_nodes: int = 96,
+    attach: int = 3,
+    seed: int = 0,
+    num_queries: int = 4,
+    k: int = 8,
+) -> Workload:
+    """Preferential attachment (Barabási–Albert style): hub-heavy degrees.
+
+    Each new node attaches to ``attach`` existing nodes sampled proportional
+    to degree (via the repeated-endpoint trick), producing the skewed degree
+    sequence the hub index bets on.
+    """
+    if num_nodes < 2:
+        raise WorkloadError("powerlaw workload needs at least 2 nodes")
+    if attach < 1:
+        raise WorkloadError("powerlaw workload needs attach >= 1")
+    rng = random.Random(seed)
+    graph = Graph(name=f"powerlaw-{num_nodes}")
+    core = min(attach + 1, num_nodes)
+    for source in range(core):
+        for target in range(source + 1, core):
+            graph.add_edge(source, target, _weight(rng))
+    # Endpoint multiset: sampling from it is degree-proportional sampling.
+    endpoints: List[int] = []
+    for source, target, _ in graph.edges():
+        endpoints.extend((source, target))
+    for node in range(core, num_nodes):
+        chosen = set()
+        while len(chosen) < min(attach, node):
+            chosen.add(endpoints[rng.randrange(len(endpoints))] if endpoints else rng.randrange(node))
+        for neighbor in sorted(chosen):
+            graph.add_edge(node, neighbor, _weight(rng))
+            endpoints.extend((node, neighbor))
+    return Workload(
+        name=f"powerlaw-n{num_nodes}",
+        family="powerlaw",
+        graph=graph,
+        queries=_sample_queries(rng, graph.nodes(), num_queries, "powerlaw"),
+        k=_check_k(k, num_nodes - 1, "powerlaw"),
+        seed=seed,
+        params={"num_nodes": num_nodes, "attach": attach},
+    )
+
+
+def bichromatic_workload(
+    num_nodes: int = 72,
+    avg_degree: float = 6.0,
+    facility_fraction: float = 0.3,
+    seed: int = 0,
+    num_queries: int = 4,
+    k: int = 8,
+) -> Workload:
+    """A G(n, p) with a facility/community split, queried from facilities."""
+    base = gnp_workload(
+        num_nodes=num_nodes,
+        avg_degree=avg_degree,
+        seed=seed,
+        num_queries=num_queries,
+        k=k,
+    )
+    rng = random.Random(seed + 1)
+    nodes = sorted(base.graph.nodes(), key=repr)
+    num_facilities = max(1, min(num_nodes - 1, round(num_nodes * facility_fraction)))
+    facilities = rng.sample(nodes, num_facilities)
+    partition = BichromaticPartition(base.graph, facilities)
+    queries = _sample_queries(rng, partition.facilities, num_queries, "bichromatic")
+    return Workload(
+        name=f"bichromatic-n{num_nodes}",
+        family="bichromatic",
+        graph=base.graph,
+        queries=queries,
+        k=_check_k(k, partition.num_communities, "bichromatic"),
+        seed=seed,
+        partition=partition,
+        params={
+            "num_nodes": num_nodes,
+            "avg_degree": avg_degree,
+            "facility_fraction": facility_fraction,
+        },
+    )
+
+
+#: Family name -> generator, for CLI ``--families`` selection.
+WORKLOAD_FAMILIES: Dict[str, Callable[..., Workload]] = {
+    "path": path_workload,
+    "grid": grid_workload,
+    "gnp": gnp_workload,
+    "powerlaw": powerlaw_workload,
+    "bichromatic": bichromatic_workload,
+}
+
+#: Per-family size parameters for the two built-in scales.
+_SCALES: Dict[str, Dict[str, Dict[str, object]]] = {
+    "smoke": {
+        "path": {"num_nodes": 24, "num_queries": 2, "k": 3},
+        "grid": {"side": 5, "num_queries": 2, "k": 3},
+        "gnp": {"num_nodes": 30, "num_queries": 2, "k": 3},
+        "powerlaw": {"num_nodes": 30, "num_queries": 2, "k": 3},
+        "bichromatic": {"num_nodes": 28, "num_queries": 2, "k": 3},
+    },
+    "default": {
+        "path": {"num_nodes": 96, "num_queries": 4, "k": 8},
+        "grid": {"side": 10, "num_queries": 4, "k": 8},
+        "gnp": {"num_nodes": 120, "num_queries": 4, "k": 8},
+        "powerlaw": {"num_nodes": 120, "num_queries": 4, "k": 8},
+        "bichromatic": {"num_nodes": 90, "num_queries": 4, "k": 8},
+    },
+}
+
+
+def build_suite(
+    families: Optional[List[str]] = None,
+    scale: str = "default",
+    seed: int = 0,
+) -> List[Workload]:
+    """Build the workloads for ``families`` at ``scale`` (smoke/default)."""
+    if scale not in _SCALES:
+        raise WorkloadError(
+            f"unknown scale {scale!r}; expected one of {sorted(_SCALES)}"
+        )
+    selected = list(WORKLOAD_FAMILIES) if families is None else list(families)
+    workloads = []
+    for family in selected:
+        generator = WORKLOAD_FAMILIES.get(family)
+        if generator is None:
+            raise WorkloadError(
+                f"unknown workload family {family!r}; "
+                f"expected one of {sorted(WORKLOAD_FAMILIES)}"
+            )
+        workloads.append(generator(seed=seed, **_SCALES[scale][family]))
+    return workloads
+
+
+def smoke_suite(seed: int = 0) -> List[Workload]:
+    """The tiny CI suite (all five families, seconds to run)."""
+    return build_suite(scale="smoke", seed=seed)
+
+
+def default_suite(seed: int = 0) -> List[Workload]:
+    """The standard suite behind ``python -m repro.bench``."""
+    return build_suite(scale="default", seed=seed)

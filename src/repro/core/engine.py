@@ -3,13 +3,38 @@
 One object that owns a graph (plus an optional bichromatic partition and an
 optional hub index) and answers reverse k-ranks queries with any of the four
 algorithms, keyed by :class:`~repro.core.config.AlgorithmKind`.  This is the
-entry point the experiment harness and the README quickstart use.
+entry point the benchmark harness and the README quickstart use.
+
+Beyond single-query dispatch the engine provides the batch front door
+:meth:`ReverseKRanksEngine.query_many`, which amortises per-query setup
+across a whole workload: the graph is compiled once into a
+:class:`~repro.graph.csr.CompactGraph` CSR backend (cached across batches
+and invalidated by the graph's mutation :attr:`~repro.graph.Graph.version`),
+the hub index stays warm and keeps learning across the batch, and repeated
+``(query, k, algorithm, bounds)`` requests can be served from an LRU result
+cache.
+
+Validation contract
+-------------------
+The engine validates queries strictly before dispatch (the low-level
+algorithm functions keep the paper's permissive "shorter result" semantics):
+
+* ``k`` must be a positive ``int`` — :class:`~repro.errors.InvalidKError`;
+* ``k`` must not exceed the number of possible candidates (``|V| - 1``
+  monochromatic, ``|V1|`` bichromatic) — :class:`~repro.errors.InvalidKError`;
+* the query node must exist — :class:`~repro.errors.InvalidQueryNodeError`;
+* bichromatic query nodes must be facilities —
+  :class:`~repro.errors.BichromaticError`;
+* the hub index must match the engine's graph *and its current mutation
+  version* — :class:`~repro.errors.IndexParameterError` (a stale index
+  would silently serve wrong ranks).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Hashable, Optional, Union
+from collections import OrderedDict
+from typing import Hashable, Iterable, List, Optional, Union
 
 from repro.core.bichromatic import (
     bichromatic_naive_reverse_k_ranks,
@@ -23,12 +48,28 @@ from repro.core.sds_dynamic import dynamic_reverse_k_ranks
 from repro.core.sds_indexed import indexed_reverse_k_ranks
 from repro.core.sds_static import static_reverse_k_ranks
 from repro.core.types import QueryResult
-from repro.errors import BichromaticError, IndexParameterError
+from repro.errors import (
+    BichromaticError,
+    IndexParameterError,
+    InvalidKError,
+    InvalidQueryNodeError,
+    check_positive_k,
+)
+from repro.graph.csr import CompactGraph
 from repro.graph.partition import BichromaticPartition
 
 NodeId = Hashable
 
 __all__ = ["ReverseKRanksEngine"]
+
+_INDEXED_IS_MONOCHROMATIC = (
+    "the indexed algorithm is monochromatic-only (the hub index stores "
+    "monochromatic ranks)"
+)
+_NO_INDEX_AVAILABLE = (
+    "no hub index available; call build_index() or pass one to the engine "
+    "before using the indexed algorithm"
+)
 
 
 class ReverseKRanksEngine:
@@ -66,9 +107,13 @@ class ReverseKRanksEngine:
             raise IndexParameterError(
                 "hub index was built for a different graph than the engine's"
             )
+        if index is not None:
+            index.ensure_fresh()
         self._graph = graph
         self._partition = partition
         self._index = index
+        self._csr: Optional[CompactGraph] = None
+        self._csr_version: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -90,6 +135,20 @@ class ReverseKRanksEngine:
     def is_bichromatic(self) -> bool:
         """Whether queries run in bichromatic mode."""
         return self._partition is not None
+
+    # ------------------------------------------------------------------
+    def compact_graph(self) -> CompactGraph:
+        """The CSR compilation of the engine's graph (compiled lazily).
+
+        The compilation is cached and keyed by the graph's mutation
+        :attr:`~repro.graph.Graph.version`, so repeated batches reuse it and
+        mutations trigger exactly one recompile.
+        """
+        version = getattr(self._graph, "version", None)
+        if self._csr is None or self._csr_version != version:
+            self._csr = CompactGraph.from_graph(self._graph)
+            self._csr_version = version
+        return self._csr
 
     # ------------------------------------------------------------------
     def build_index(
@@ -130,27 +189,157 @@ class ReverseKRanksEngine:
         query:
             The query node (a facility node in bichromatic mode).
         k:
-            Requested result size.
+            Requested result size; must be a positive integer no larger than
+            the number of candidate nodes (see the module docstring).
         algorithm:
             An :class:`AlgorithmKind` or its string value.
         bounds:
             Theorem-2 bound components for the dynamic/indexed algorithms.
         """
         kind = AlgorithmKind(algorithm)
+        self._validate_query(query, k)
+        return self._dispatch(query, k, kind, bounds, backend=None)
+
+    def query_many(
+        self,
+        queries: Iterable[NodeId],
+        k: int,
+        algorithm: Union[AlgorithmKind, str] = AlgorithmKind.DYNAMIC,
+        bounds: Optional[BoundSet] = None,
+        use_csr: bool = True,
+        cache_size: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Answer a batch of reverse k-ranks queries, amortising setup work.
+
+        Three batch-level optimisations apply:
+
+        * **one CSR compile** — monochromatic non-indexed queries run over
+          the cached :class:`~repro.graph.csr.CompactGraph` backend (compiled
+          at most once per graph version) instead of the dict-of-dict graph;
+        * **warm hub-index reuse** — indexed queries share the engine's hub
+          index, which keeps learning ranks across the batch (Algorithm 4),
+          so later queries get progressively cheaper;
+        * **optional LRU result cache** — with ``cache_size`` set, repeated
+          ``(query, k, algorithm, bounds)`` requests within the batch are
+          answered from cache (useful for skewed query workloads).
+
+        Parameters
+        ----------
+        queries:
+            Query nodes; evaluated in order.  Every query is validated up
+            front, so a bad query fails the batch before any work is done.
+        k, algorithm, bounds:
+            As in :meth:`query`, shared by the whole batch.
+        use_csr:
+            Whether to run non-indexed monochromatic queries over the CSR
+            backend.  Results are identical either way; disabling is mostly
+            useful for benchmarking the backends against each other.
+        cache_size:
+            Capacity of the per-batch LRU result cache; ``None``/``0``
+            disables caching.  Cache hits return the same
+            :class:`~repro.core.types.QueryResult` object.
+
+        Returns
+        -------
+        list of QueryResult
+            One result per query, in input order.
+        """
+        kind = AlgorithmKind(algorithm)
+        batch = list(queries)
+        check_positive_k(k)
+        for query in batch:
+            self._validate_query_node(query)
+        # After the node checks so absent-node errors take precedence, but
+        # unconditionally so an empty batch still validates k.
+        self._validate_k_limit(k)
+        if kind is AlgorithmKind.INDEXED:
+            self._require_monochromatic_index()
+            self._index.ensure_compatible(self._graph, k)
+
+        backend: Optional[CompactGraph] = None
+        if (
+            use_csr
+            and self._partition is None
+            and kind is not AlgorithmKind.INDEXED
+        ):
+            backend = self.compact_graph()
+
+        cache: Optional[OrderedDict] = (
+            OrderedDict() if cache_size and cache_size > 0 else None
+        )
+        results: List[QueryResult] = []
+        for query in batch:
+            key = (query, k, kind, bounds)
+            if cache is not None and key in cache:
+                cache.move_to_end(key)
+                results.append(cache[key])
+                continue
+            result = self._dispatch(query, k, kind, bounds, backend=backend)
+            if cache is not None:
+                cache[key] = result
+                if len(cache) > cache_size:
+                    cache.popitem(last=False)
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Validation and dispatch internals
+    # ------------------------------------------------------------------
+    def _validate_query(self, query: NodeId, k: int) -> None:
+        check_positive_k(k)
+        self._validate_query_node(query)
+        self._validate_k_limit(k)
+
+    def _validate_k_limit(self, k: int) -> None:
+        if self._partition is not None:
+            limit = self._partition.num_communities
+            population = "community (V1) candidate nodes"
+        else:
+            limit = self._graph.num_nodes - 1
+            population = "candidate nodes (|V| - 1)"
+        if k > limit:
+            raise InvalidKError(
+                k,
+                reason=(
+                    f"k={k} exceeds the {limit} {population} this engine "
+                    "could ever return"
+                ),
+            )
+
+    def _validate_query_node(self, query: NodeId) -> None:
+        if not self._graph.has_node(query):
+            raise InvalidQueryNodeError(query)
+        if self._partition is not None:
+            self._partition.validate_query_node(query)
+
+    def _require_monochromatic_index(self) -> None:
+        """Preconditions shared by every indexed-algorithm entry point."""
+        if self._partition is not None:
+            raise IndexParameterError(_INDEXED_IS_MONOCHROMATIC)
+        if self._index is None:
+            raise IndexParameterError(_NO_INDEX_AVAILABLE)
+
+    def _dispatch(
+        self,
+        query: NodeId,
+        k: int,
+        kind: AlgorithmKind,
+        bounds: Optional[BoundSet],
+        backend: Optional[CompactGraph],
+    ) -> QueryResult:
         if self._partition is not None:
             return self._bichromatic_query(query, k, kind, bounds)
 
+        graph = backend if backend is not None else self._graph
         if kind is AlgorithmKind.NAIVE:
-            return naive_reverse_k_ranks(self._graph, query, k)
+            return naive_reverse_k_ranks(graph, query, k)
         if kind is AlgorithmKind.STATIC:
-            return static_reverse_k_ranks(self._graph, query, k)
+            return static_reverse_k_ranks(graph, query, k)
         if kind is AlgorithmKind.DYNAMIC:
-            return dynamic_reverse_k_ranks(self._graph, query, k, bounds=bounds)
-        if self._index is None:
-            raise IndexParameterError(
-                "no hub index available; call build_index() or pass one to "
-                "the engine before using the indexed algorithm"
-            )
+            return dynamic_reverse_k_ranks(graph, query, k, bounds=bounds)
+        self._require_monochromatic_index()
+        # The hub index stores ranks for the dict-backed graph object it was
+        # built on; indexed queries therefore always run on the engine graph.
         return indexed_reverse_k_ranks(
             self._graph, query, k, index=self._index, bounds=bounds
         )
@@ -163,10 +352,7 @@ class ReverseKRanksEngine:
         bounds: Optional[BoundSet],
     ) -> QueryResult:
         if kind is AlgorithmKind.INDEXED:
-            raise IndexParameterError(
-                "the indexed algorithm is monochromatic-only (the hub index "
-                "stores monochromatic ranks)"
-            )
+            raise IndexParameterError(_INDEXED_IS_MONOCHROMATIC)
         if kind is AlgorithmKind.NAIVE:
             return bichromatic_naive_reverse_k_ranks(self._partition, query, k)
         if kind is AlgorithmKind.STATIC:

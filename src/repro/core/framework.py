@@ -47,7 +47,7 @@ from repro.core.config import BoundSet
 from repro.core.refinement import refine_rank
 from repro.core.resultset import TopKRankCollector
 from repro.core.types import QueryResult, QueryStats
-from repro.errors import InvalidKError, InvalidQueryNodeError
+from repro.errors import InvalidQueryNodeError, check_positive_k
 from repro.graph.views import transpose_view
 from repro.traversal.heap import AddressableHeap
 
@@ -99,8 +99,7 @@ class SDSTreeSearch:
         counted: Optional[Predicate] = None,
         algorithm_label: str = "",
     ) -> None:
-        if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
-            raise InvalidKError(k)
+        check_positive_k(k)
         if not graph.has_node(query):
             raise InvalidQueryNodeError(query)
 

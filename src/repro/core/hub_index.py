@@ -61,7 +61,16 @@ class HubIndex:
     Use :meth:`build` to construct and populate an index in one step.
     """
 
-    __slots__ = ("_graph", "_capacity", "_hubs", "_known", "_reverse", "_check", "_explored")
+    __slots__ = (
+        "_graph",
+        "_graph_version",
+        "_capacity",
+        "_hubs",
+        "_known",
+        "_reverse",
+        "_check",
+        "_explored",
+    )
 
     def __init__(self, graph, capacity: int, hubs=()) -> None:
         if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity <= 0:
@@ -69,6 +78,7 @@ class HubIndex:
                 f"index capacity K must be a positive integer, got {capacity!r}"
             )
         self._graph = graph
+        self._graph_version = getattr(graph, "version", None)
         self._capacity = capacity
         self._hubs: List[NodeId] = list(hubs)
         for hub in self._hubs:
@@ -171,13 +181,37 @@ class HubIndex:
     # Query-time surface (called by the framework)
     # ------------------------------------------------------------------
     def ensure_compatible(self, graph, k: int) -> None:
-        """Reject queries on a different graph or with ``k`` beyond capacity."""
+        """Reject queries on a different/mutated graph or ``k`` beyond capacity.
+
+        Raises
+        ------
+        IndexParameterError
+            When ``graph`` is a different object than the index was built
+            for, or the same graph has been structurally mutated since the
+            index snapshot (its :attr:`~repro.graph.Graph.version` moved) —
+            stored ranks would silently be wrong in that case.
+        IndexCapacityError
+            When ``k`` exceeds the index capacity ``K``.
+        """
         if graph is not self._graph:
             raise IndexParameterError(
                 "hub index was built for a different graph; rebuild it"
             )
+        self.ensure_fresh()
         if k > self._capacity:
             raise IndexCapacityError(k, self._capacity)
+
+    def ensure_fresh(self) -> None:
+        """Reject use of the index after its graph has been mutated."""
+        if self._graph_version is None:
+            return
+        current = getattr(self._graph, "version", None)
+        if current != self._graph_version:
+            raise IndexParameterError(
+                "hub index is stale: the graph has been mutated since the "
+                f"index was built (version {self._graph_version} -> {current}); "
+                "rebuild the index"
+            )
 
     def known_rank(self, source: NodeId, target: NodeId) -> Optional[int]:
         """Exact ``Rank(source, target)`` if recorded, else ``None``."""

@@ -14,7 +14,7 @@ from typing import Callable, Hashable, Optional
 
 from repro.core.resultset import TopKRankCollector
 from repro.core.types import QueryResult, QueryStats
-from repro.errors import InvalidKError, InvalidQueryNodeError
+from repro.errors import InvalidQueryNodeError, check_positive_k
 from repro.traversal.rank import exact_rank
 
 NodeId = Hashable
@@ -59,8 +59,7 @@ def naive_reverse_k_ranks(
         are never part of the result, matching the traversal-based
         algorithms, which only ever meet nodes that can reach ``q``.
     """
-    if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
-        raise InvalidKError(k)
+    check_positive_k(k)
     if not graph.has_node(query):
         raise InvalidQueryNodeError(query)
 

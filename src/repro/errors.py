@@ -68,11 +68,26 @@ class InvalidQueryNodeError(QueryError, KeyError):
 
 
 class InvalidKError(QueryError, ValueError):
-    """Raised when the requested result size ``k`` is not a positive integer."""
+    """Raised when the requested result size ``k`` is invalid.
 
-    def __init__(self, k: object) -> None:
-        super().__init__(f"k must be a positive integer, got {k!r}")
+    Either ``k`` is not a positive integer, or (at the engine level) it
+    exceeds the number of candidate nodes that could possibly be returned.
+    """
+
+    def __init__(self, k: object, reason: str = "") -> None:
+        super().__init__(reason or f"k must be a positive integer, got {k!r}")
         self.k = k
+
+
+def check_positive_k(k: object) -> None:
+    """Raise :class:`InvalidKError` unless ``k`` is a positive ``int``.
+
+    ``bool`` is rejected explicitly (it subclasses ``int``).  Shared by the
+    engine facade and the low-level algorithm entry points so the layers
+    cannot drift apart on what a legal ``k`` is.
+    """
+    if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+        raise InvalidKError(k)
 
 
 class IndexError_(ReproError):

@@ -14,6 +14,7 @@ serialisation, validation, statistics and bichromatic partitions.
 
 from repro.graph.graph import Graph
 from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CompactGraph
 from repro.graph.partition import BichromaticPartition
 from repro.graph.views import transpose_view
 from repro.graph.validation import validate_graph
@@ -22,6 +23,7 @@ from repro.graph.statistics import GraphStatistics, compute_statistics
 __all__ = [
     "Graph",
     "GraphBuilder",
+    "CompactGraph",
     "BichromaticPartition",
     "transpose_view",
     "validate_graph",

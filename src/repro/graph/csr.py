@@ -1,0 +1,343 @@
+"""Compact CSR (compressed sparse row) graph backend.
+
+:class:`CompactGraph` is a frozen, int-indexed array view of a
+:class:`~repro.graph.Graph`.  Adjacency is stored in three parallel
+``array`` buffers per direction — offsets, endpoints and weights — so the
+shortest-path hot loops can run over machine-typed arrays and integer node
+indexes instead of hashing arbitrary node identifiers through dict-of-dict
+storage on every relaxation.
+
+Design notes
+------------
+* Both out- and in-adjacency are compiled (the SDS-tree is a Dijkstra tree
+  on the transpose graph); for undirected graphs the two directions share
+  the same buffers.
+* Node indexes follow the source graph's iteration order and edge slices
+  follow its adjacency iteration order, so generic (duck-typed) traversals
+  over a :class:`CompactGraph` visit neighbours in exactly the same order
+  as over the originating :class:`~repro.graph.Graph` — query results are
+  identical between the two backends, not merely equivalent.
+* The view is immutable by construction: it exposes no mutators, and it
+  snapshots the source graph's :attr:`~repro.graph.Graph.version` so caches
+  (e.g. the engine's per-batch compilation) can detect staleness.
+* The array-specialised Dijkstra/rank fast paths live in
+  :mod:`repro.traversal.csr_ops`; the public traversal entry points
+  dispatch to them automatically via the :attr:`is_compact` marker.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import Graph, NodeId, Weight
+
+__all__ = ["CompactGraph"]
+
+
+class CompactGraph:
+    """A frozen CSR compilation of a :class:`~repro.graph.Graph`.
+
+    Use :meth:`from_graph` to build one.  The class implements the read-only
+    adjacency protocol the traversal layer expects (``has_node``,
+    ``neighbor_items``, ``in_neighbor_items``, degrees, iteration), so every
+    query algorithm accepts a :class:`CompactGraph` wherever it accepts a
+    :class:`~repro.graph.Graph`; the hot loops additionally recognise the
+    :attr:`is_compact` marker and switch to array-index traversal.
+    """
+
+    #: Marker consulted by the traversal fast paths (duck-typed to avoid
+    #: import cycles between the graph and traversal layers).
+    is_compact = True
+
+    __slots__ = (
+        "_directed",
+        "name",
+        "_num_edges",
+        "_nodes",
+        "_index_of",
+        "_out_offsets",
+        "_out_targets",
+        "_out_weights",
+        "_in_offsets",
+        "_in_sources",
+        "_in_weights",
+        "_source_version",
+    )
+
+    def __init__(
+        self,
+        directed: bool,
+        nodes: List[NodeId],
+        out_offsets: array,
+        out_targets: array,
+        out_weights: array,
+        in_offsets: array,
+        in_sources: array,
+        in_weights: array,
+        num_edges: int,
+        name: str = "",
+        source_version: Optional[int] = None,
+        index_of: Optional[Dict[NodeId, int]] = None,
+    ) -> None:
+        self._directed = directed
+        self.name = name
+        self._num_edges = num_edges
+        self._nodes = nodes
+        self._index_of: Dict[NodeId, int] = (
+            index_of
+            if index_of is not None
+            else {node: index for index, node in enumerate(nodes)}
+        )
+        self._out_offsets = out_offsets
+        self._out_targets = out_targets
+        self._out_weights = out_weights
+        self._in_offsets = in_offsets
+        self._in_sources = in_sources
+        self._in_weights = in_weights
+        self._source_version = source_version
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CompactGraph":
+        """Compile ``graph`` into a frozen CSR view.
+
+        Weights are copied bit-for-bit (``array('d')`` stores the same IEEE
+        doubles), and adjacency order is preserved, so traversals over the
+        compilation reproduce the dict backend's results exactly.
+        """
+        nodes = list(graph.nodes())
+        index_of = {node: index for index, node in enumerate(nodes)}
+
+        out_offsets = array("q", [0])
+        out_targets = array("q")
+        out_weights = array("d")
+        for node in nodes:
+            for neighbor, weight in graph.neighbor_items(node):
+                out_targets.append(index_of[neighbor])
+                out_weights.append(weight)
+            out_offsets.append(len(out_targets))
+
+        if graph.directed:
+            in_offsets = array("q", [0])
+            in_sources = array("q")
+            in_weights = array("d")
+            for node in nodes:
+                for neighbor, weight in graph.in_neighbor_items(node):
+                    in_sources.append(index_of[neighbor])
+                    in_weights.append(weight)
+                in_offsets.append(len(in_sources))
+        else:
+            # Undirected adjacency is symmetric; share the buffers.
+            in_offsets, in_sources, in_weights = out_offsets, out_targets, out_weights
+
+        return cls(
+            directed=graph.directed,
+            nodes=nodes,
+            out_offsets=out_offsets,
+            out_targets=out_targets,
+            out_weights=out_weights,
+            in_offsets=in_offsets,
+            in_sources=in_sources,
+            in_weights=in_weights,
+            num_edges=graph.num_edges,
+            name=graph.name,
+            source_version=getattr(graph, "version", None),
+            index_of=index_of,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic properties (mirror repro.graph.Graph)
+    # ------------------------------------------------------------------
+    @property
+    def directed(self) -> bool:
+        """Whether the compiled graph is directed."""
+        return self._directed
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (logical) edges, undirected edges counted once."""
+        return self._num_edges
+
+    @property
+    def average_degree(self) -> float:
+        """Average out-degree (2·|E|/|V| for undirected graphs)."""
+        if not self._nodes:
+            return 0.0
+        factor = 1 if self._directed else 2
+        return factor * self._num_edges / self.num_nodes
+
+    @property
+    def source_version(self) -> Optional[int]:
+        """The source graph's :attr:`~repro.graph.Graph.version` at compile time."""
+        return self._source_version
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._index_of
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "directed" if self._directed else "undirected"
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<CompactGraph{label} {kind} nodes={self.num_nodes} "
+            f"edges={self.num_edges}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Index mapping (used by the array fast paths)
+    # ------------------------------------------------------------------
+    def index_of(self, node: NodeId) -> int:
+        """The dense array index of ``node``."""
+        try:
+            return self._index_of[node]
+        except KeyError as exc:
+            raise NodeNotFoundError(node) from exc
+
+    def node_at(self, index: int) -> NodeId:
+        """The node identifier stored at array ``index``."""
+        return self._nodes[index]
+
+    @property
+    def node_ids(self) -> List[NodeId]:
+        """Index-ordered node identifiers (do not mutate)."""
+        return self._nodes
+
+    def out_csr(self) -> Tuple[array, array, array]:
+        """The out-adjacency buffers ``(offsets, targets, weights)``."""
+        return self._out_offsets, self._out_targets, self._out_weights
+
+    def in_csr(self) -> Tuple[array, array, array]:
+        """The in-adjacency buffers ``(offsets, sources, weights)``."""
+        return self._in_offsets, self._in_sources, self._in_weights
+
+    # ------------------------------------------------------------------
+    # Read-only adjacency protocol (duck-compatible with Graph)
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over node identifiers in index order."""
+        return iter(self._nodes)
+
+    def has_node(self, node: NodeId) -> bool:
+        """Whether ``node`` is in the graph."""
+        return node in self._index_of
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        """Whether the edge ``(source, target)`` exists."""
+        source_index = self.index_of(source)
+        target_index = self.index_of(target)
+        offsets, targets, _ = self._out_offsets, self._out_targets, self._out_weights
+        for position in range(offsets[source_index], offsets[source_index + 1]):
+            if targets[position] == target_index:
+                return True
+        return False
+
+    def weight(self, source: NodeId, target: NodeId) -> Weight:
+        """Weight of edge ``(source, target)``; raises if absent."""
+        from repro.errors import EdgeNotFoundError
+
+        source_index = self.index_of(source)
+        target_index = self.index_of(target)
+        offsets, targets, weights = (
+            self._out_offsets,
+            self._out_targets,
+            self._out_weights,
+        )
+        for position in range(offsets[source_index], offsets[source_index + 1]):
+            if targets[position] == target_index:
+                return weights[position]
+        raise EdgeNotFoundError(source, target)
+
+    def edges(self) -> Iterator[Tuple[NodeId, NodeId, Weight]]:
+        """Iterate over edges as ``(source, target, weight)`` triples.
+
+        Undirected edges are yielded once (smaller array index first).
+        """
+        offsets, targets, weights = (
+            self._out_offsets,
+            self._out_targets,
+            self._out_weights,
+        )
+        for source_index, source in enumerate(self._nodes):
+            for position in range(offsets[source_index], offsets[source_index + 1]):
+                target_index = targets[position]
+                if not self._directed and target_index < source_index:
+                    continue
+                yield source, self._nodes[target_index], weights[position]
+
+    def neighbor_items(self, node: NodeId) -> Iterator[Tuple[NodeId, Weight]]:
+        """Iterate over ``(out-neighbour, weight)`` pairs of ``node``."""
+        index = self.index_of(node)
+        offsets, targets, weights = (
+            self._out_offsets,
+            self._out_targets,
+            self._out_weights,
+        )
+        nodes = self._nodes
+        for position in range(offsets[index], offsets[index + 1]):
+            yield nodes[targets[position]], weights[position]
+
+    def neighbors(self, node: NodeId) -> Iterator[NodeId]:
+        """Iterate over out-neighbours of ``node``."""
+        index = self.index_of(node)
+        offsets, targets = self._out_offsets, self._out_targets
+        nodes = self._nodes
+        for position in range(offsets[index], offsets[index + 1]):
+            yield nodes[targets[position]]
+
+    def in_neighbor_items(self, node: NodeId) -> Iterator[Tuple[NodeId, Weight]]:
+        """Iterate over ``(in-neighbour, weight)`` pairs of ``node``."""
+        index = self.index_of(node)
+        offsets, sources, weights = (
+            self._in_offsets,
+            self._in_sources,
+            self._in_weights,
+        )
+        nodes = self._nodes
+        for position in range(offsets[index], offsets[index + 1]):
+            yield nodes[sources[position]], weights[position]
+
+    def in_neighbors(self, node: NodeId) -> Iterator[NodeId]:
+        """Iterate over in-neighbours of ``node``."""
+        index = self.index_of(node)
+        offsets, sources = self._in_offsets, self._in_sources
+        nodes = self._nodes
+        for position in range(offsets[index], offsets[index + 1]):
+            yield nodes[sources[position]]
+
+    def out_degree(self, node: NodeId) -> int:
+        """Out-degree of ``node``."""
+        index = self.index_of(node)
+        return self._out_offsets[index + 1] - self._out_offsets[index]
+
+    def in_degree(self, node: NodeId) -> int:
+        """In-degree of ``node``."""
+        index = self.index_of(node)
+        return self._in_offsets[index + 1] - self._in_offsets[index]
+
+    def degree(self, node: NodeId) -> int:
+        """Alias of :meth:`out_degree` (equal to in-degree when undirected)."""
+        return self.out_degree(node)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_graph(self) -> Graph:
+        """Decompile back into a mutable :class:`~repro.graph.Graph`."""
+        graph = Graph(directed=self._directed, name=self.name)
+        graph.add_nodes(self._nodes)
+        graph.add_edges(self.edges())
+        return graph

@@ -77,13 +77,14 @@ class Graph:
     1.0
     """
 
-    __slots__ = ("_directed", "_succ", "_pred", "_num_edges", "name")
+    __slots__ = ("_directed", "_succ", "_pred", "_num_edges", "_version", "name")
 
     def __init__(self, directed: bool = False, name: str = "") -> None:
         self._directed = bool(directed)
         self._succ: Dict[NodeId, Dict[NodeId, Weight]] = {}
         self._pred: Dict[NodeId, Dict[NodeId, Weight]] = {}
         self._num_edges = 0
+        self._version = 0
         self.name = name
 
     # ------------------------------------------------------------------
@@ -107,6 +108,18 @@ class Graph:
         stored in both adjacency directions.
         """
         return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Incremented by every structural change (node/edge addition, removal,
+        or an edge-weight update through parallel-edge collapsing).  Derived
+        artefacts — :class:`~repro.graph.csr.CompactGraph` compilations and
+        :class:`~repro.core.hub_index.HubIndex` builds — snapshot this value
+        so stale caches and indexes can be detected at query time.
+        """
+        return self._version
 
     @property
     def average_degree(self) -> float:
@@ -152,6 +165,7 @@ class Graph:
             return
         self._succ[node] = {}
         self._pred[node] = {}
+        self._version += 1
 
     def add_nodes(self, nodes: Iterable[NodeId]) -> None:
         """Add every node in ``nodes`` (existing nodes are kept)."""
@@ -173,8 +187,11 @@ class Graph:
         existing = self._succ[source].get(target)
         if existing is None:
             self._num_edges += 1
+            self._version += 1
         elif existing <= value:
             value = existing
+        else:
+            self._version += 1
 
         self._succ[source][target] = value
         self._pred[target][source] = value
@@ -199,6 +216,7 @@ class Graph:
             del self._succ[target][source]
             del self._pred[source][target]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, node: NodeId) -> None:
         """Remove a node and all incident edges."""
@@ -211,6 +229,7 @@ class Graph:
                 self.remove_edge(source, node)
         del self._succ[node]
         del self._pred[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Access

@@ -22,6 +22,12 @@ from repro.traversal.dijkstra import (
 from repro.traversal.sssp import ShortestPathTree
 from repro.traversal.knn import k_nearest_nodes
 from repro.traversal.rank import exact_rank, rank_row, rank_stream, rank_matrix
+from repro.traversal.csr_ops import (
+    compact_distance_map,
+    compact_exact_rank,
+    compact_rank_stream,
+    compact_shortest_path_tree,
+)
 
 __all__ = [
     "AddressableHeap",
@@ -35,4 +41,8 @@ __all__ = [
     "rank_row",
     "rank_stream",
     "rank_matrix",
+    "compact_distance_map",
+    "compact_exact_rank",
+    "compact_rank_stream",
+    "compact_shortest_path_tree",
 ]

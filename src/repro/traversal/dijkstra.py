@@ -19,6 +19,11 @@ from __future__ import annotations
 from typing import Callable, Dict, Hashable, Iterable, Iterator, Optional, Tuple
 
 from repro.errors import NodeNotFoundError
+from repro.traversal.csr_ops import (
+    compact_distance_between,
+    compact_distance_map,
+    compact_shortest_path_tree,
+)
 from repro.traversal.heap import AddressableHeap
 from repro.traversal.sssp import ShortestPathTree
 
@@ -189,13 +194,21 @@ class DijkstraSearch:
 
 
 def shortest_path_tree(graph, source: NodeId) -> ShortestPathTree:
-    """Full single-source shortest-path tree from ``source``."""
+    """Full single-source shortest-path tree from ``source``.
+
+    :class:`~repro.graph.csr.CompactGraph` inputs take the array-specialised
+    fast path; distances (and therefore ranks) are identical either way.
+    """
+    if getattr(graph, "is_compact", False):
+        return compact_shortest_path_tree(graph, source)
     search = DijkstraSearch(graph, source)
     return search.run()
 
 
 def shortest_path_distances(graph, source: NodeId) -> Dict[NodeId, float]:
     """Exact distances from ``source`` to every reachable node."""
+    if getattr(graph, "is_compact", False):
+        return compact_distance_map(graph, source)
     return shortest_path_tree(graph, source).distances
 
 
@@ -206,6 +219,8 @@ def distance_between(graph, source: NodeId, target: NodeId) -> float:
     """
     if not graph.has_node(target):
         raise NodeNotFoundError(target)
+    if getattr(graph, "is_compact", False):
+        return compact_distance_between(graph, source, target)
     search = DijkstraSearch(graph, source)
     result = search.run_until(target)
     return float("inf") if result is None else result

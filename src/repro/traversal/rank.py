@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Hashable, Iterator, Optional, Tuple
 
 from repro.errors import NodeNotFoundError
+from repro.traversal.csr_ops import compact_exact_rank, compact_rank_stream
 from repro.traversal.dijkstra import DijkstraSearch, shortest_path_distances
 
 NodeId = Hashable
@@ -52,6 +53,9 @@ def exact_rank(
         raise NodeNotFoundError(source)
     if not graph.has_node(target):
         raise NodeNotFoundError(target)
+    if getattr(graph, "is_compact", False):
+        # Array fast path; additionally early-exits when ``target`` settles.
+        return compact_exact_rank(graph, source, target, counted=counted)
 
     distances = shortest_path_distances(graph, source)
     if target not in distances:
@@ -83,6 +87,8 @@ def rank_stream(
     consumers may stop iterating at any point (e.g. after ``M`` nodes)
     and every rank yielded so far is exact.
     """
+    if getattr(graph, "is_compact", False):
+        return compact_rank_stream(graph, source, counted=counted)
     if not graph.has_node(source):
         raise NodeNotFoundError(source)
     return _rank_stream(graph, source, counted)

@@ -1,0 +1,163 @@
+"""Tests for the benchmark subsystem: workloads, harness, report, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    WORKLOAD_FAMILIES,
+    build_report,
+    build_suite,
+    gnp_workload,
+    powerlaw_workload,
+    render_table,
+    run_workload,
+    smoke_suite,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.errors import WorkloadError
+
+
+# ----------------------------------------------------------------------
+# Workload generators
+# ----------------------------------------------------------------------
+def test_all_families_have_generators():
+    assert set(WORKLOAD_FAMILIES) == {
+        "path",
+        "grid",
+        "gnp",
+        "powerlaw",
+        "bichromatic",
+    }
+
+
+def test_workloads_are_deterministic():
+    first = gnp_workload(num_nodes=20, seed=9)
+    second = gnp_workload(num_nodes=20, seed=9)
+    assert first.graph.structurally_equal(second.graph)
+    assert first.queries == second.queries
+    other_seed = gnp_workload(num_nodes=20, seed=10)
+    assert not first.graph.structurally_equal(other_seed.graph)
+
+
+def test_smoke_suite_covers_every_family():
+    suite = smoke_suite()
+    assert [workload.family for workload in suite] == list(WORKLOAD_FAMILIES)
+    for workload in suite:
+        assert workload.num_nodes <= 32
+        assert workload.queries
+        assert all(workload.graph.has_node(query) for query in workload.queries)
+        assert 1 <= workload.k < workload.num_nodes
+
+
+def test_powerlaw_is_hub_heavy():
+    workload = powerlaw_workload(num_nodes=60, attach=2, seed=3)
+    degrees = sorted(
+        (workload.graph.degree(node) for node in workload.graph.nodes()),
+        reverse=True,
+    )
+    # Preferential attachment concentrates degree in the head.
+    assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+
+def test_bichromatic_workload_queries_are_facilities():
+    workload = build_suite(families=["bichromatic"], scale="smoke")[0]
+    assert workload.partition is not None
+    assert all(workload.partition.is_facility(query) for query in workload.queries)
+    assert workload.k <= workload.partition.num_communities
+
+
+def test_unknown_family_and_scale_rejected():
+    with pytest.raises(WorkloadError):
+        build_suite(families=["nope"])
+    with pytest.raises(WorkloadError):
+        build_suite(scale="gigantic")
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_result():
+    workload = gnp_workload(num_nodes=18, avg_degree=4.0, seed=2, num_queries=2, k=2)
+    return run_workload(workload, repetitions=2, warmup=1)
+
+
+def test_harness_times_all_four_algorithms(tiny_result):
+    assert set(tiny_result.algorithms) == {"naive", "static", "dynamic", "indexed"}
+    for name, timing in tiny_result.algorithms.items():
+        assert len(timing.repetitions) == 2
+        assert timing.mean_seconds is not None and timing.mean_seconds >= 0
+        assert timing.best_seconds <= max(timing.repetitions)
+        assert timing.validated is True, name
+    assert tiny_result.algorithms["indexed"].index_build_seconds is not None
+    assert tiny_result.backend == "csr"
+    assert tiny_result.backend_consistent is True
+
+
+def test_harness_skips_indexed_on_bichromatic():
+    workload = build_suite(families=["bichromatic"], scale="smoke")[0]
+    result = run_workload(workload, repetitions=1, warmup=0)
+    assert result.algorithms["indexed"].skipped
+    assert not result.algorithms["indexed"].repetitions
+    assert result.algorithms["dynamic"].validated is True
+    assert result.backend == "dict"
+
+
+# ----------------------------------------------------------------------
+# Report + CLI
+# ----------------------------------------------------------------------
+def test_report_schema(tiny_result):
+    report = build_report([tiny_result], config={"scale": "test"})
+    assert report["schema_version"] == 1
+    assert report["config"]["scale"] == "test"
+    (workload,) = report["workloads"]
+    assert workload["backend_consistent"] is True
+    for name in ("naive", "static", "dynamic", "indexed"):
+        timing = workload["algorithms"][name]
+        assert timing["mean_seconds"] >= 0
+        assert timing["per_query_seconds"] >= 0
+        assert timing["validated"] is True
+    assert workload["algorithms"]["naive"]["speedup_vs_naive"] == 1.0
+    table = render_table(report)
+    assert "gnp-n18" in table and "naive" in table
+    json.dumps(report)  # must be JSON-serialisable as-is
+
+
+def test_cli_smoke_writes_report(tmp_path, capsys):
+    output = tmp_path / "BENCH_core.json"
+    exit_code = bench_main(["--smoke", "--output", str(output), "--quiet"])
+    assert exit_code == 0
+    report = json.loads(output.read_text())
+    assert report["schema_version"] == 1
+    assert report["config"]["scale"] == "smoke"
+    families = {workload["family"] for workload in report["workloads"]}
+    assert len(families) >= 3
+    for workload in report["workloads"]:
+        algorithms = workload["algorithms"]
+        assert {"naive", "static", "dynamic", "indexed"} <= set(algorithms)
+        for name, timing in algorithms.items():
+            if timing.get("skipped"):
+                continue
+            assert timing["mean_seconds"] >= 0
+            assert timing["validated"] is True
+
+
+def test_cli_family_subset(tmp_path):
+    output = tmp_path / "bench.json"
+    exit_code = bench_main(
+        ["--smoke", "--families", "path,grid", "--output", str(output), "--quiet"]
+    )
+    assert exit_code == 0
+    report = json.loads(output.read_text())
+    assert [workload["family"] for workload in report["workloads"]] == ["path", "grid"]
+
+
+def test_cli_rejects_unknown_family(tmp_path, capsys):
+    exit_code = bench_main(
+        ["--smoke", "--families", "nope", "--output", str(tmp_path / "x.json")]
+    )
+    assert exit_code == 2
+    assert "unknown workload family" in capsys.readouterr().err

@@ -1,0 +1,175 @@
+"""Cross-validation of the CompactGraph CSR backend against the dict backend.
+
+The contract is *identity*, not mere equivalence: the CSR compilation
+preserves node and adjacency iteration order and copies weights bit-for-bit,
+so distances, ranks and full query results must match the dict backend
+exactly on every fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    dynamic_reverse_k_ranks,
+    naive_reverse_k_ranks,
+    static_reverse_k_ranks,
+)
+from repro.errors import EdgeNotFoundError, NodeNotFoundError
+from repro.graph import CompactGraph, Graph
+from repro.traversal import (
+    distance_between,
+    exact_rank,
+    rank_row,
+    shortest_path_distances,
+    shortest_path_tree,
+)
+
+from conftest import sample_queries
+
+
+@pytest.fixture()
+def compiled(any_graph):
+    return any_graph, CompactGraph.from_graph(any_graph)
+
+
+def test_compilation_preserves_structure(compiled):
+    graph, csr = compiled
+    assert csr.num_nodes == graph.num_nodes
+    assert csr.num_edges == graph.num_edges
+    assert csr.directed == graph.directed
+    assert list(csr.nodes()) == list(graph.nodes())
+    for node in graph.nodes():
+        assert csr.has_node(node)
+        assert csr.out_degree(node) == graph.out_degree(node)
+        assert csr.in_degree(node) == graph.in_degree(node)
+        assert dict(csr.neighbor_items(node)) == dict(graph.neighbor_items(node))
+        assert dict(csr.in_neighbor_items(node)) == dict(graph.in_neighbor_items(node))
+    assert sorted(csr.edges(), key=repr) == sorted(graph.edges(), key=repr)
+
+
+def test_adjacency_iteration_order_matches_dict_backend(compiled):
+    graph, csr = compiled
+    for node in graph.nodes():
+        assert list(csr.neighbor_items(node)) == list(graph.neighbor_items(node))
+        assert list(csr.in_neighbor_items(node)) == list(graph.in_neighbor_items(node))
+
+
+def test_distances_bit_identical(compiled):
+    graph, csr = compiled
+    for source in sample_queries(graph):
+        assert shortest_path_distances(csr, source) == shortest_path_distances(
+            graph, source
+        )
+
+
+def test_shortest_path_tree_fast_path(compiled):
+    graph, csr = compiled
+    for source in sample_queries(graph, 2):
+        dict_tree = shortest_path_tree(graph, source)
+        csr_tree = shortest_path_tree(csr, source)
+        assert csr_tree.distances == dict_tree.distances
+        assert csr_tree.complete
+        # Predecessor links must be consistent: every settled node's
+        # predecessor edge closes its shortest-path distance exactly.
+        for node, predecessor in csr_tree.predecessors.items():
+            if predecessor is None:
+                assert node == source
+                continue
+            assert (
+                csr_tree.distances[predecessor] + graph.weight(predecessor, node)
+                == csr_tree.distances[node]
+            )
+
+
+def test_point_to_point_distance(compiled):
+    graph, csr = compiled
+    nodes = sample_queries(graph, 3)
+    for source in nodes:
+        for target in nodes:
+            assert distance_between(csr, source, target) == distance_between(
+                graph, source, target
+            )
+
+
+def test_ranks_bit_identical(compiled):
+    graph, csr = compiled
+    for source in sample_queries(graph):
+        assert rank_row(csr, source) == rank_row(graph, source)
+        for target in sample_queries(graph, 2):
+            assert exact_rank(csr, source, target) == exact_rank(
+                graph, source, target
+            )
+
+
+def test_query_results_identical_across_backends(compiled):
+    graph, csr = compiled
+    for query in sample_queries(graph):
+        for k in (1, 3):
+            assert (
+                naive_reverse_k_ranks(csr, query, k).as_pairs()
+                == naive_reverse_k_ranks(graph, query, k).as_pairs()
+            )
+            assert (
+                static_reverse_k_ranks(csr, query, k).as_pairs()
+                == static_reverse_k_ranks(graph, query, k).as_pairs()
+            )
+            assert (
+                dynamic_reverse_k_ranks(csr, query, k).as_pairs()
+                == dynamic_reverse_k_ranks(graph, query, k).as_pairs()
+            )
+
+
+def test_missing_nodes_raise(random_gnp):
+    csr = CompactGraph.from_graph(random_gnp)
+    with pytest.raises(NodeNotFoundError):
+        csr.index_of("missing")
+    with pytest.raises(NodeNotFoundError):
+        list(csr.neighbor_items("missing"))
+    with pytest.raises(NodeNotFoundError):
+        shortest_path_distances(csr, "missing")
+    with pytest.raises(EdgeNotFoundError):
+        csr.weight(0, 0)
+
+
+def test_empty_and_single_node_graphs():
+    empty = CompactGraph.from_graph(Graph())
+    assert empty.num_nodes == 0
+    assert empty.num_edges == 0
+    assert list(empty.nodes()) == []
+
+    single = Graph()
+    single.add_node("only")
+    csr = CompactGraph.from_graph(single)
+    assert csr.num_nodes == 1
+    assert shortest_path_distances(csr, "only") == {"only": 0.0}
+    assert exact_rank(csr, "only", "only") == 1
+
+
+def test_compact_graph_is_frozen(random_gnp):
+    csr = CompactGraph.from_graph(random_gnp)
+    assert not hasattr(csr, "add_edge")
+    assert not hasattr(csr, "add_node")
+    assert not hasattr(csr, "remove_edge")
+    with pytest.raises(AttributeError):
+        csr.extra_attribute = 1  # __slots__ blocks new attributes
+
+
+def test_source_version_snapshot(random_gnp):
+    csr = CompactGraph.from_graph(random_gnp)
+    assert csr.source_version == random_gnp.version
+
+
+def test_round_trip_to_graph(compiled):
+    graph, csr = compiled
+    assert csr.to_graph().structurally_equal(graph)
+
+
+def test_weight_and_has_edge(compiled):
+    graph, csr = compiled
+    for source, target, weight in list(graph.edges())[:10]:
+        assert csr.has_edge(source, target)
+        assert csr.weight(source, target) == weight
+    assert not csr.has_edge(
+        next(iter(graph.nodes())), next(iter(graph.nodes()))
+    )
