@@ -9,8 +9,12 @@ measurement infrastructure the reproduction is judged against:
   :class:`~repro.core.config.AlgorithmKind`\\ s with in-run cross-validation
   against the naive baseline and a CSR-vs-dict backend consistency check;
 * :mod:`repro.bench.report` — the ``BENCH_core.json`` schema and writer;
+* :mod:`repro.bench.diff` — ``python -m repro.bench.diff OLD NEW``, the
+  report comparator CI uses as its speed-regression gate;
 * ``python -m repro.bench`` — the CLI (see :mod:`repro.bench.__main__`),
-  with ``--smoke`` for the CI-sized run.
+  with ``--smoke`` for the CI-sized run, ``--scale default,large`` for the
+  thousands-of-nodes suite (sampled naive baseline) and ``--index-cache``
+  for hub-index warm restarts.
 """
 
 from repro.bench.harness import AlgorithmTiming, WorkloadResult, run_suite, run_workload
@@ -23,6 +27,7 @@ from repro.bench.workloads import (
     default_suite,
     gnp_workload,
     grid_workload,
+    large_suite,
     path_workload,
     powerlaw_workload,
     smoke_suite,
@@ -46,4 +51,5 @@ __all__ = [
     "build_suite",
     "smoke_suite",
     "default_suite",
+    "large_suite",
 ]

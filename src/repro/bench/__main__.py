@@ -15,8 +15,14 @@ Benchmark a subset of families with more repetitions::
 
     python -m repro.bench --families gnp,powerlaw --repetitions 5
 
+The thousands-of-nodes suite (sampled naive baseline), on top of the
+default one, with hub indexes cached on disk between runs::
+
+    python -m repro.bench --scale default,large --index-cache .bench-index-cache
+
 Exit status is non-zero when any algorithm disagrees with the naive
-baseline or the CSR backend diverges from the dict backend.
+baseline (or, on sampled large-scale workloads, the exact-rank spot
+checks) or the CSR backend diverges from the dict backend.
 """
 
 from __future__ import annotations
@@ -49,6 +55,24 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         "--smoke",
         action="store_true",
         help="tiny CI-sized workloads, 1 repetition, no warmup",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help=(
+            "workload scale(s): smoke, default, large, or a comma-separated "
+            "combination like default,large (default: default; overrides "
+            "--smoke when both are given)"
+        ),
+    )
+    parser.add_argument(
+        "--index-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for hub-index save/load: the indexed algorithm "
+            "loads a cached index when fresh and builds+saves otherwise"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -93,11 +117,21 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _parse_args(argv)
-    scale = "smoke" if args.smoke else "default"
+    if args.scale is not None:
+        scale = args.scale
+    else:
+        scale = "smoke" if args.smoke else "default"
+    # Repetition/warmup defaults follow the *resolved* scale: --scale
+    # overrides --smoke wholesale, so `--smoke --scale default` must not
+    # inherit smoke's cold single-repetition timings (warmup pre-warms the
+    # hub index; without it the indexed rows time the cold build path).
+    smoke_only = [part.strip() for part in scale.split(",") if part.strip()] == [
+        "smoke"
+    ]
     repetitions = args.repetitions if args.repetitions is not None else (
-        1 if args.smoke else 3
+        1 if smoke_only else 3
     )
-    warmup = args.warmup if args.warmup is not None else (0 if args.smoke else 1)
+    warmup = args.warmup if args.warmup is not None else (0 if smoke_only else 1)
     families = (
         [name.strip() for name in args.families.split(",") if name.strip()]
         if args.families
@@ -113,6 +147,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             warmup=warmup,
             use_csr=not args.no_csr,
             validate=not args.no_validate,
+            index_cache=args.index_cache,
             progress=progress,
         )
     except WorkloadError as exc:

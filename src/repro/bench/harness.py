@@ -11,23 +11,43 @@ baseline *during the run* (a disagreement raises
 
 A backend consistency check additionally asserts that the
 :class:`~repro.graph.csr.CompactGraph` CSR backend returns results identical
-to the dict-backed graph, so the trajectory never silently benchmarks a
-backend that diverged.
+to the dict-backed graph (bichromatic workloads included), so the
+trajectory never silently benchmarks a backend that diverged.
+
+Large-scale workloads (``Workload.naive_sample`` set) time the naive
+baseline over a deterministic candidate *sample* and extrapolate the
+exhaustive cost; exhaustive brute force at thousands of nodes would run
+for hours.  Validation stays real: every optimised algorithm is
+spot-checked against the exact ranks of the sampled candidates (a sampled
+candidate strictly inside the result boundary must appear with exactly
+that rank), and the optimised algorithms are additionally cross-checked
+against each other.
+
+With ``index_cache`` set, the indexed algorithm first tries
+:meth:`~repro.core.hub_index.HubIndex.load` from that directory and falls
+back to building (then :meth:`~repro.core.hub_index.HubIndex.save`-ing) on
+a miss, so repeated runs — and restarted servers — start warm.
 """
 
 from __future__ import annotations
 
+import pickle
+import random
 import statistics
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.bench.workloads import Workload
 from repro.core.config import AlgorithmKind
 from repro.core.engine import ReverseKRanksEngine
+from repro.core.hub_index import HubIndex
+from repro.core.naive import naive_reverse_k_ranks
 from repro.core.types import QueryResult
 from repro.core.validation import results_equivalent
-from repro.errors import CrossValidationError
+from repro.errors import CrossValidationError, IndexParameterError, WorkloadError
+from repro.traversal.rank import exact_rank
 
 __all__ = ["AlgorithmTiming", "WorkloadResult", "run_workload", "run_suite"]
 
@@ -52,6 +72,12 @@ class AlgorithmTiming:
     validated: Optional[bool] = None
     speedup_vs_naive: Optional[float] = None
     skipped: Optional[str] = None
+    #: Large-scale workloads only: how many candidates the naive baseline
+    #: was timed on, and its extrapolated exhaustive batch cost.
+    sampled_candidates: Optional[int] = None
+    estimated_full_seconds: Optional[float] = None
+    #: ``"hit"`` / ``"miss"`` when an ``index_cache`` directory was used.
+    index_cache: Optional[str] = None
 
     @property
     def mean_seconds(self) -> Optional[float]:
@@ -88,6 +114,11 @@ class AlgorithmTiming:
             payload["index_build_seconds"] = self.index_build_seconds
         if self.skipped is not None:
             payload["skipped"] = self.skipped
+        if self.sampled_candidates is not None:
+            payload["sampled_candidates"] = self.sampled_candidates
+            payload["estimated_full_seconds"] = self.estimated_full_seconds
+        if self.index_cache is not None:
+            payload["index_cache"] = self.index_cache
         return payload
 
 
@@ -117,15 +148,94 @@ def _validate_batch(
     baseline: List[QueryResult],
     contender: List[QueryResult],
     label: str,
+    baseline_label: str = "naive",
 ) -> None:
     for expected, actual in zip(baseline, contender):
         if not results_equivalent(expected, actual):
             raise CrossValidationError(
-                f"{label} disagrees with naive on workload "
+                f"{label} disagrees with {baseline_label} on workload "
                 f"{workload.name!r} for query={expected.query!r}, "
-                f"k={workload.k}: naive={expected.as_pairs()!r} vs "
+                f"k={workload.k}: {baseline_label}={expected.as_pairs()!r} vs "
                 f"{label}={actual.as_pairs()!r}"
             )
+
+
+def _sample_candidates(workload: Workload) -> List[object]:
+    """The deterministic naive-baseline candidate sample of a workload."""
+    rng = random.Random(workload.seed * 65_537 + 0x5A17)
+    ordered = sorted(workload.graph.nodes(), key=repr)
+    count = min(workload.naive_sample, len(ordered))
+    return rng.sample(ordered, count)
+
+
+def _time_sampled_naive(
+    workload: Workload,
+    search_graph,
+    sample: List[object],
+    timing: AlgorithmTiming,
+    repetitions: int,
+    warmup: int,
+) -> None:
+    """Time the naive baseline restricted to ``sample`` and extrapolate.
+
+    The sampled runs compute *exact* ranks (for the sampled candidates),
+    so per-candidate cost is representative; ``estimated_full_seconds``
+    scales the measured batch time to all ``|V| - 1`` candidates.
+    """
+    membership = set(sample).__contains__
+    batches = []
+    for round_index in range(warmup + repetitions):
+        started = time.perf_counter()
+        batch = [
+            naive_reverse_k_ranks(
+                search_graph, query, workload.k, candidate=membership
+            )
+            for query in workload.queries
+        ]
+        elapsed = time.perf_counter() - started
+        if round_index >= warmup:
+            timing.repetitions.append(elapsed)
+            batches = batch
+    timing.rank_refinements = sum(
+        item.stats.rank_refinements for item in batches
+    )
+    timing.sampled_candidates = len(sample)
+    total_candidates = workload.num_nodes - 1
+    scale = total_candidates / max(1, len(sample))
+    timing.estimated_full_seconds = timing.mean_seconds * scale
+    timing.validated = True
+    timing.speedup_vs_naive = 1.0
+
+
+def _spot_validate_sampled(
+    workload: Workload,
+    batch: List[QueryResult],
+    sample_ranks: Dict[object, Dict[object, float]],
+    label: str,
+) -> None:
+    """Check an optimised batch against the sampled candidates' exact ranks.
+
+    Every sampled candidate ranked strictly below a result's boundary must
+    appear in that result with exactly its exact rank, and any sampled
+    candidate that does appear must carry its exact rank.
+    """
+    for result in batch:
+        ranks = result.ranks()
+        boundary = result.kth_rank()
+        for candidate, rank in sample_ranks[result.query].items():
+            if candidate in ranks:
+                if ranks[candidate] != rank:
+                    raise CrossValidationError(
+                        f"{label} reports rank {ranks[candidate]!r} for "
+                        f"{candidate!r} on workload {workload.name!r} "
+                        f"(query={result.query!r}), exact rank is {rank!r}"
+                    )
+            elif rank < boundary:
+                raise CrossValidationError(
+                    f"{label} omits {candidate!r} (exact rank {rank!r}, "
+                    f"result boundary {boundary!r}) on workload "
+                    f"{workload.name!r} (query={result.query!r})"
+                )
 
 
 def _check_backend_consistency(
@@ -165,6 +275,7 @@ def run_workload(
     validate: bool = True,
     check_backend: bool = True,
     num_hubs: Optional[int] = None,
+    index_cache: Optional[object] = None,
 ) -> WorkloadResult:
     """Time all four algorithms on ``workload``.
 
@@ -178,35 +289,50 @@ def run_workload(
         Untimed warmup batches per algorithm (also pre-warms the hub index,
         so indexed timings measure the warm steady state the paper reports).
     use_csr:
-        Whether non-indexed monochromatic queries run on the CSR backend.
+        Whether queries run on the CSR backend (bichromatic included).
     validate:
-        Cross-validate every algorithm's results against naive in-run.
+        Cross-validate every algorithm's results against naive in-run; on
+        sampled (large-scale) workloads this becomes the spot-check and
+        pairwise validation described in the module docstring.
     check_backend:
-        Additionally assert CSR results == dict results (monochromatic only).
+        Additionally assert CSR results == dict results.
     num_hubs:
-        Hub count for the indexed algorithm; defaults to ``max(1, |V| // 8)``.
+        Hub count for the indexed algorithm; overrides the workload's
+        ``index_params``, defaults to ``max(1, |V| // 8)``.
+    index_cache:
+        Optional directory for :meth:`HubIndex.load`/:meth:`HubIndex.save`
+        warm restarts of the indexed algorithm.
 
     Raises
     ------
     CrossValidationError
-        When any algorithm disagrees with the naive baseline, or the CSR
-        backend disagrees with the dict backend.
+        When any algorithm disagrees with the (possibly sampled) naive
+        baseline, or the CSR backend disagrees with the dict backend.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
+    if workload.naive_sample is not None and workload.partition is not None:
+        raise WorkloadError(
+            "sampled naive baselines are monochromatic-only for now"
+        )
     graph = workload.graph
     result = WorkloadResult(
         workload=workload,
-        backend="csr" if use_csr and workload.partition is None else "dict",
+        backend="csr" if use_csr else "dict",
     )
     baseline: Optional[List[QueryResult]] = None
+    reference: Optional[List[QueryResult]] = None
+    reference_label = ""
+    sample: Optional[List[object]] = None
+    sample_ranks: Optional[Dict[object, Dict[object, float]]] = None
 
     # One engine per workload: its version-keyed CSR cache compiles the
     # CompactGraph exactly once, outside every timed window (with warmup=0
     # a per-kind engine would fold the compile into the first repetition).
     engine = ReverseKRanksEngine(graph, partition=workload.partition)
-    if use_csr and workload.partition is None:
-        engine.compact_graph()
+    search_graph = engine.compact_graph() if use_csr else graph
+    if workload.naive_sample is not None:
+        sample = _sample_candidates(workload)
 
     for kind in _KIND_ORDER:
         timing = AlgorithmTiming(algorithm=kind.value)
@@ -216,13 +342,16 @@ def run_workload(
             timing.skipped = "indexed algorithm is monochromatic-only"
             continue
 
-        if kind is AlgorithmKind.INDEXED:
-            started = time.perf_counter()
-            engine.build_index(
-                num_hubs=num_hubs,
-                capacity=max(workload.k, 16),
+        if kind is AlgorithmKind.NAIVE and sample is not None:
+            _time_sampled_naive(
+                workload, search_graph, sample, timing, repetitions, warmup
             )
-            timing.index_build_seconds = time.perf_counter() - started
+            continue
+
+        if kind is AlgorithmKind.INDEXED:
+            _prepare_index(
+                workload, engine, timing, num_hubs, index_cache, use_csr
+            )
 
         for _ in range(warmup):
             engine.query_many(
@@ -245,25 +374,106 @@ def run_workload(
             timing.speedup_vs_naive = 1.0
             timing.validated = True
         else:
-            if validate and baseline is not None:
-                _validate_batch(workload, baseline, batch, kind.value)
-                timing.validated = True
+            if validate:
+                if baseline is not None:
+                    _validate_batch(workload, baseline, batch, kind.value)
+                    timing.validated = True
+                elif sample is not None:
+                    if sample_ranks is None:
+                        sample_ranks = _exact_sample_ranks(
+                            workload, search_graph, sample
+                        )
+                    _spot_validate_sampled(
+                        workload, batch, sample_ranks, kind.value
+                    )
+                    if reference is not None:
+                        _validate_batch(
+                            workload, reference, batch, kind.value,
+                            baseline_label=reference_label,
+                        )
+                    reference = batch
+                    reference_label = kind.value
+                    timing.validated = True
             naive_timing = result.algorithms[AlgorithmKind.NAIVE.value]
-            if naive_timing.mean_seconds and timing.mean_seconds:
-                timing.speedup_vs_naive = (
-                    naive_timing.mean_seconds / timing.mean_seconds
-                )
+            naive_mean = (
+                naive_timing.estimated_full_seconds
+                if naive_timing.estimated_full_seconds is not None
+                else naive_timing.mean_seconds
+            )
+            if naive_mean and timing.mean_seconds:
+                timing.speedup_vs_naive = naive_mean / timing.mean_seconds
 
-        if (
-            check_backend
-            and workload.partition is None
-            and kind is AlgorithmKind.DYNAMIC
-        ):
+        if check_backend and kind is AlgorithmKind.DYNAMIC:
             result.backend_consistent = _check_backend_consistency(
                 workload, engine, batch, timed_on_csr=use_csr
             )
 
     return result
+
+
+def _exact_sample_ranks(
+    workload: Workload, search_graph, sample: List[object]
+) -> Dict[object, Dict[object, float]]:
+    """Exact ``Rank(p, q)`` for every sampled ``p`` and workload query ``q``."""
+    return {
+        query: {
+            candidate: exact_rank(search_graph, candidate, query)
+            for candidate in sample
+            if candidate != query
+        }
+        for query in workload.queries
+    }
+
+
+def _prepare_index(
+    workload: Workload,
+    engine: ReverseKRanksEngine,
+    timing: AlgorithmTiming,
+    num_hubs: Optional[int],
+    index_cache: Optional[object],
+    use_csr: bool = True,
+) -> None:
+    """Build — or load from ``index_cache`` — the engine's hub index.
+
+    ``use_csr`` is threaded into the build so a ``--no-csr`` run measures
+    the dict backend's index construction too, not a hidden CSR one.
+    """
+    build_kwargs = dict(workload.index_params)
+    if num_hubs is not None:
+        build_kwargs["num_hubs"] = num_hubs
+    capacity = int(build_kwargs.pop("capacity", max(workload.k, 16)))
+
+    cache_path: Optional[Path] = None
+    if index_cache is not None:
+        # The build parameters are part of the cache key: a cached 64-hub
+        # index must not silently serve a 128-hub configuration.
+        tag = (
+            f"h{build_kwargs.get('num_hubs', 'auto')}"
+            f"-m{build_kwargs.get('explore_limit', 'full')}"
+            f"-k{capacity}"
+        )
+        cache_path = (
+            Path(index_cache)
+            / f"{workload.name}-seed{workload.seed}-{tag}.hubindex"
+        )
+
+    started = time.perf_counter()
+    if cache_path is not None and cache_path.exists():
+        try:
+            loaded = HubIndex.load(cache_path, workload.graph)
+        except (IndexParameterError, OSError, pickle.PickleError, EOFError):
+            loaded = None
+        if loaded is not None and loaded.capacity >= capacity:
+            engine.adopt_index(loaded)
+            timing.index_cache = "hit"
+            timing.index_build_seconds = time.perf_counter() - started
+            return
+    index = engine.build_index(capacity=capacity, use_csr=use_csr, **build_kwargs)
+    timing.index_build_seconds = time.perf_counter() - started
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        index.save(cache_path)
+        timing.index_cache = "miss"
 
 
 def run_suite(
@@ -273,6 +483,7 @@ def run_suite(
     use_csr: bool = True,
     validate: bool = True,
     check_backend: bool = True,
+    index_cache: Optional[object] = None,
     progress=None,
 ) -> List[WorkloadResult]:
     """Run every workload through :func:`run_workload`.
@@ -296,6 +507,7 @@ def run_suite(
                 use_csr=use_csr,
                 validate=validate,
                 check_backend=check_backend,
+                index_cache=index_cache,
             )
         )
     return results

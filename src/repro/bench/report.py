@@ -30,7 +30,16 @@ The JSON schema (``schema_version`` 1)::
 ``validated`` is ``true`` only when the algorithm's batch results were
 checked against the naive baseline during the run, and
 ``backend_consistent`` only when the CSR backend reproduced the dict
-backend's results exactly.
+backend's results exactly (bichromatic workloads included).
+
+Large-scale workloads add ``naive_sample`` / ``index_params`` to the
+workload metadata; their naive timing carries ``sampled_candidates`` and
+``estimated_full_seconds`` (the extrapolated exhaustive batch cost that
+``speedup_vs_naive`` is computed against), and ``validated`` there means
+the exact-rank spot checks plus pairwise algorithm agreement passed.  When
+the run used ``--index-cache``, the indexed timing records ``index_cache``
+as ``"hit"`` or ``"miss"``.  All additions are backwards-compatible
+optional fields, so the schema version stays 1.
 """
 
 from __future__ import annotations
@@ -101,6 +110,7 @@ def render_table(report: Dict[str, object]) -> str:
     )
     lines.append(header)
     lines.append("-" * len(header))
+    any_sampled = False
     for workload in report["workloads"]:
         for name, timing in workload["algorithms"].items():
             if timing.get("skipped"):
@@ -108,13 +118,22 @@ def render_table(report: Dict[str, object]) -> str:
                     f"{workload['name']:<20} {name:<8} {'skipped':>10}"
                 )
                 continue
+            label = name
+            if timing.get("sampled_candidates") is not None:
+                label = f"{name}*"
+                any_sampled = True
             speedup = timing.get("speedup_vs_naive")
             validated = timing.get("validated")
             lines.append(
-                f"{workload['name']:<20} {name:<8} "
+                f"{workload['name']:<20} {label:<8} "
                 f"{_format_seconds(timing.get('per_query_seconds')):>10} "
                 f"{(f'{speedup:.1f}x' if speedup else '-'):>8} "
                 f"{timing.get('rank_refinements', 0):>7} "
                 f"{('y' if validated else '-'):>3}"
             )
+    if any_sampled:
+        lines.append(
+            "* baseline timed on a candidate sample; speedups are vs its "
+            "extrapolated exhaustive cost"
+        )
     return "\n".join(lines)

@@ -16,6 +16,7 @@ from typing import Hashable, Optional
 from repro.core.config import BoundSet
 from repro.core.framework import SDSTreeSearch
 from repro.core.naive import naive_reverse_k_ranks
+from repro.graph.csr import ensure_backend_fresh
 from repro.core.types import QueryResult
 from repro.graph.partition import BichromaticPartition
 
@@ -25,12 +26,22 @@ __all__ = ["bichromatic_naive_reverse_k_ranks", "bichromatic_reverse_k_ranks"]
 
 
 def bichromatic_naive_reverse_k_ranks(
-    partition: BichromaticPartition, query: NodeId, k: int
+    partition: BichromaticPartition, query: NodeId, k: int, backend=None
 ) -> QueryResult:
-    """Brute-force bichromatic baseline (Definition 4 evaluated exhaustively)."""
+    """Brute-force bichromatic baseline (Definition 4 evaluated exhaustively).
+
+    ``backend`` optionally supplies a :class:`~repro.graph.csr.CompactGraph`
+    compilation of the partition's graph; the exhaustive rank computations
+    then run on the CSR fast path (the partition predicates work on node
+    identifiers, which both backends yield).
+    """
     partition.validate_query_node(query)
+    if backend is not None:
+        # Same freshness bar as the SDS entry points: a stale compilation
+        # must never silently supply the ground-truth baseline.
+        ensure_backend_fresh(partition.graph, backend)
     return naive_reverse_k_ranks(
-        partition.graph,
+        partition.graph if backend is None else backend,
         query,
         k,
         candidate=partition.is_candidate,
@@ -44,6 +55,7 @@ def bichromatic_reverse_k_ranks(
     query: NodeId,
     k: int,
     bounds: Optional[BoundSet] = None,
+    backend=None,
 ) -> QueryResult:
     """Bichromatic reverse k-ranks with the SDS-tree framework.
 
@@ -54,6 +66,9 @@ def bichromatic_reverse_k_ranks(
         (the framework drops the count component itself, since Lemma 4 does
         not hold bichromatically).  Pass :meth:`BoundSet.none` for the
         static variant.
+    backend:
+        Optional fresh :class:`~repro.graph.csr.CompactGraph` compilation of
+        the partition's graph for the CSR fast path.
     """
     partition.validate_query_node(query)
     active = BoundSet.all() if bounds is None else bounds
@@ -65,5 +80,6 @@ def bichromatic_reverse_k_ranks(
         candidate=partition.is_candidate,
         counted=partition.is_counted,
         algorithm_label=f"Bichromatic-{active.label()}",
+        backend=backend,
     )
     return search.run()

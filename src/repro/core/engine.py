@@ -158,8 +158,14 @@ class ReverseKRanksEngine:
         capacity: int = 16,
         strategy: Union[HubSelectionStrategy, str] = HubSelectionStrategy.DEGREE,
         rng: Optional[random.Random] = None,
+        use_csr: bool = True,
     ) -> HubIndex:
-        """Build (and adopt) a hub index for the indexed algorithm."""
+        """Build (and adopt) a hub index for the indexed algorithm.
+
+        With ``use_csr`` (the default) the hub explorations run over the
+        engine's cached CSR compilation — the index itself stays bound to
+        the dict graph and records identical ranks either way.
+        """
         if self._partition is not None:
             raise IndexParameterError(
                 "cannot build a hub index on a bichromatic engine"
@@ -171,8 +177,25 @@ class ReverseKRanksEngine:
             capacity=capacity,
             strategy=strategy,
             rng=rng,
+            backend=self.compact_graph() if use_csr else None,
         )
         return self._index
+
+    def adopt_index(self, index: HubIndex) -> HubIndex:
+        """Adopt a prebuilt (e.g. :meth:`HubIndex.load`-ed) hub index.
+
+        The index must have been built for — or loaded against — this
+        engine's graph at its current mutation version.
+        """
+        if self._partition is not None:
+            raise IndexParameterError(_INDEXED_IS_MONOCHROMATIC)
+        if index.graph is not self._graph:
+            raise IndexParameterError(
+                "hub index was built for a different graph than the engine's"
+            )
+        index.ensure_fresh()
+        self._index = index
+        return index
 
     # ------------------------------------------------------------------
     def query(
@@ -213,9 +236,12 @@ class ReverseKRanksEngine:
 
         Three batch-level optimisations apply:
 
-        * **one CSR compile** — monochromatic non-indexed queries run over
-          the cached :class:`~repro.graph.csr.CompactGraph` backend (compiled
-          at most once per graph version) instead of the dict-of-dict graph;
+        * **one CSR compile** — every algorithm (naive, static, dynamic,
+          indexed, and the bichromatic variants) runs over the cached
+          :class:`~repro.graph.csr.CompactGraph` backend (compiled at most
+          once per graph version) instead of the dict-of-dict graph; the
+          SDS-tree and refinement loops take the array-specialised fast
+          path of :mod:`repro.traversal.csr_sds`;
         * **warm hub-index reuse** — indexed queries share the engine's hub
           index, which keeps learning ranks across the batch (Algorithm 4),
           so later queries get progressively cheaper;
@@ -231,9 +257,9 @@ class ReverseKRanksEngine:
         k, algorithm, bounds:
             As in :meth:`query`, shared by the whole batch.
         use_csr:
-            Whether to run non-indexed monochromatic queries over the CSR
-            backend.  Results are identical either way; disabling is mostly
-            useful for benchmarking the backends against each other.
+            Whether to run the batch over the CSR backend.  Results are
+            identical either way; disabling is mostly useful for
+            benchmarking the backends against each other.
         cache_size:
             Capacity of the per-batch LRU result cache; ``None``/``0``
             disables caching.  Cache hits return the same
@@ -256,13 +282,9 @@ class ReverseKRanksEngine:
             self._require_monochromatic_index()
             self._index.ensure_compatible(self._graph, k)
 
-        backend: Optional[CompactGraph] = None
-        if (
-            use_csr
-            and self._partition is None
-            and kind is not AlgorithmKind.INDEXED
-        ):
-            backend = self.compact_graph()
+        backend: Optional[CompactGraph] = (
+            self.compact_graph() if use_csr else None
+        )
 
         cache: Optional[OrderedDict] = (
             OrderedDict() if cache_size and cache_size > 0 else None
@@ -328,7 +350,7 @@ class ReverseKRanksEngine:
         backend: Optional[CompactGraph],
     ) -> QueryResult:
         if self._partition is not None:
-            return self._bichromatic_query(query, k, kind, bounds)
+            return self._bichromatic_query(query, k, kind, bounds, backend)
 
         graph = backend if backend is not None else self._graph
         if kind is AlgorithmKind.NAIVE:
@@ -338,10 +360,12 @@ class ReverseKRanksEngine:
         if kind is AlgorithmKind.DYNAMIC:
             return dynamic_reverse_k_ranks(graph, query, k, bounds=bounds)
         self._require_monochromatic_index()
-        # The hub index stores ranks for the dict-backed graph object it was
-        # built on; indexed queries therefore always run on the engine graph.
+        # The hub index stores node-id ranks for the dict-backed graph it
+        # was built on; indexed queries keep that graph as the source of
+        # truth and hand the CSR compilation along as the traversal backend.
         return indexed_reverse_k_ranks(
-            self._graph, query, k, index=self._index, bounds=bounds
+            self._graph, query, k, index=self._index, bounds=bounds,
+            backend=backend,
         )
 
     def _bichromatic_query(
@@ -350,16 +374,21 @@ class ReverseKRanksEngine:
         k: int,
         kind: AlgorithmKind,
         bounds: Optional[BoundSet],
+        backend: Optional[CompactGraph] = None,
     ) -> QueryResult:
         if kind is AlgorithmKind.INDEXED:
             raise IndexParameterError(_INDEXED_IS_MONOCHROMATIC)
         if kind is AlgorithmKind.NAIVE:
-            return bichromatic_naive_reverse_k_ranks(self._partition, query, k)
+            return bichromatic_naive_reverse_k_ranks(
+                self._partition, query, k, backend=backend
+            )
         if kind is AlgorithmKind.STATIC:
             return bichromatic_reverse_k_ranks(
-                self._partition, query, k, bounds=BoundSet.none()
+                self._partition, query, k, bounds=BoundSet.none(), backend=backend
             )
-        return bichromatic_reverse_k_ranks(self._partition, query, k, bounds=bounds)
+        return bichromatic_reverse_k_ranks(
+            self._partition, query, k, bounds=bounds, backend=backend
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         mode = "bichromatic" if self.is_bichromatic else "monochromatic"

@@ -21,6 +21,15 @@ optional :class:`~repro.core.hub_index.HubIndex`, and optional bichromatic
 predicates.  The public algorithm modules are thin wrappers that pick the
 right configuration.
 
+When the traversed graph is a :class:`~repro.graph.csr.CompactGraph` (or a
+compact ``backend`` compilation of the graph is supplied), :meth:`run`
+dispatches the whole pipeline — tree expansion, bound checks and bounded
+refinements — to the array-specialised
+:class:`~repro.traversal.csr_sds.CompactSDSTreeSearch`, which produces
+bit-identical results and :class:`~repro.core.types.QueryStats` counters
+(the parity suite asserts this).  The generic loops below remain the
+readable reference implementation and serve arbitrary duck-typed graphs.
+
 Correctness under pruning
 -------------------------
 Because pruned subtrees are not expanded, the traversal may later reach a
@@ -48,6 +57,7 @@ from repro.core.refinement import refine_rank
 from repro.core.resultset import TopKRankCollector
 from repro.core.types import QueryResult, QueryStats
 from repro.errors import InvalidQueryNodeError, check_positive_k
+from repro.graph.csr import ensure_backend_fresh
 from repro.graph.views import transpose_view
 from repro.traversal.heap import AddressableHeap
 
@@ -86,6 +96,12 @@ class SDSTreeSearch:
         means every node counts.
     algorithm_label:
         Name recorded in the produced :class:`~repro.core.types.QueryResult`.
+    backend:
+        Optional :class:`~repro.graph.csr.CompactGraph` compilation of
+        ``graph``.  When given (or when ``graph`` itself is compact), the
+        traversal runs on the CSR fast path; results are identical either
+        way.  The compilation must be fresh — a version mismatch with
+        ``graph`` is rejected.
     """
 
     def __init__(
@@ -98,12 +114,16 @@ class SDSTreeSearch:
         candidate: Optional[Predicate] = None,
         counted: Optional[Predicate] = None,
         algorithm_label: str = "",
+        backend=None,
     ) -> None:
         check_positive_k(k)
         if not graph.has_node(query):
             raise InvalidQueryNodeError(query)
+        if backend is not None:
+            ensure_backend_fresh(graph, backend)
 
         self._graph = graph
+        self._backend = backend
         self._reverse = transpose_view(graph)
         self._query = query
         self._k = k
@@ -143,11 +163,36 @@ class SDSTreeSearch:
         """Evaluate the query and return the result."""
         started = time.perf_counter()
         self._seed_from_index()
-        self._traverse()
+        csr = self._compact_backend()
+        if csr is not None:
+            # Imported lazily: traversal sits below core in the layering,
+            # but the CSR specialisation needs no core imports at all.
+            from repro.traversal.csr_sds import CompactSDSTreeSearch
+
+            CompactSDSTreeSearch(
+                csr,
+                self._query,
+                collector=self._collector,
+                stats=self.stats,
+                index=self._index,
+                use_parent=self._bounds.use_parent,
+                height_active=self._height_bound_active,
+                count_active=self._count_bound_active,
+                candidate=self._candidate,
+                counted=self._counted,
+            ).traverse()
+        else:
+            self._traverse()
         self.stats.elapsed_seconds = time.perf_counter() - started
         return self._collector.as_result(
             self._query, stats=self.stats, algorithm=self._label
         )
+
+    def _compact_backend(self):
+        """The CSR view to traverse, or ``None`` for the generic loops."""
+        if getattr(self._graph, "is_compact", False):
+            return self._graph
+        return self._backend
 
     # ------------------------------------------------------------------
     # Seeding from the hub index

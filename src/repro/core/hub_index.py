@@ -32,12 +32,42 @@ enforces this.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import random
+from pathlib import Path
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.core.hubs import HubSelectionStrategy, select_hubs
 from repro.errors import IndexCapacityError, IndexParameterError, NodeNotFoundError
+from repro.graph.csr import ensure_backend_fresh
 from repro.traversal.rank import rank_stream
+
+#: On-disk serialisation format marker and version (see :meth:`HubIndex.save`).
+_IO_FORMAT = "repro-hubindex"
+_IO_VERSION = 1
+#: Magic prefix written before the pickle payload; checked *before*
+#: unpickling so a random file never reaches :func:`pickle.load`.
+_IO_MAGIC = b"REPRO-HUBINDEX/1\n"
+
+
+def _graph_digest(graph) -> str:
+    """Content digest of a graph's adjacency (nodes, wiring and weights).
+
+    Structural counts and the mutation version cannot distinguish two
+    graphs built by identical mutation sequences with different weights;
+    this O(V+E) digest can.  It walks adjacency in the graph's iteration
+    order, which is deterministic for a reproducible construction sequence
+    (the same property the version check relies on).
+    """
+    digest = hashlib.sha256()
+    digest.update(f"{int(graph.directed)}|{graph.num_nodes}".encode())
+    for node in graph.nodes():
+        digest.update(repr(node).encode())
+        for neighbor, weight in graph.neighbor_items(node):
+            digest.update(f"|{neighbor!r}:{weight!r}".encode())
+        digest.update(b";")
+    return digest.hexdigest()
 
 NodeId = Hashable
 
@@ -106,6 +136,7 @@ class HubIndex:
         strategy: Union[HubSelectionStrategy, str] = HubSelectionStrategy.DEGREE,
         hubs=None,
         rng: Optional[random.Random] = None,
+        backend=None,
     ) -> "HubIndex":
         """Select hubs and precompute their neighbourhood ranks.
 
@@ -125,6 +156,13 @@ class HubIndex:
             Explicit hub vertices, bypassing strategy selection.
         rng:
             Random generator forwarded to hub selection.
+        backend:
+            Optional :class:`~repro.graph.csr.CompactGraph` compilation of
+            ``graph``: hub explorations then run on the CSR fast path.  The
+            index stays bound (and version-pinned) to ``graph``; recorded
+            ranks are identical either way, though under an
+            ``explore_limit`` the identity of nodes inside the boundary tie
+            group may differ between backends.
         """
         if hubs is None:
             if num_hubs is None:
@@ -136,19 +174,142 @@ class HubIndex:
             raise IndexParameterError(
                 f"explore_limit M must be a positive integer, got {explore_limit!r}"
             )
+        if backend is not None:
+            # Same freshness bar as the SDS entry points: ranks recorded
+            # from a stale or foreign compilation would be pinned to the
+            # *current* graph version and served as exact answers forever.
+            ensure_backend_fresh(graph, backend, exc_type=IndexParameterError)
+        search_graph = graph if backend is None else backend
         for hub in index._hubs:
-            index._explore_hub(hub, limit)
+            index._explore_hub(hub, limit, search_graph)
         return index
 
-    def _explore_hub(self, hub: NodeId, limit: int) -> None:
+    def _explore_hub(self, hub: NodeId, limit: int, search_graph=None) -> None:
         """Settle up to ``limit`` nodes around ``hub``, recording their ranks."""
         settled = 0
-        for node, _, rank in rank_stream(self._graph, hub):
+        for node, _, rank in rank_stream(
+            self._graph if search_graph is None else search_graph, hub
+        ):
             self.record_rank(hub, node, int(rank))
             settled += 1
             if settled >= limit:
                 break
         self.record_exploration(hub, settled)
+
+    # ------------------------------------------------------------------
+    # Persistence (stdlib-only; lets servers restart warm)
+    # ------------------------------------------------------------------
+    def save(self, path) -> Path:
+        """Serialise the index to ``path`` (magic prefix + stdlib :mod:`pickle`).
+
+        The payload carries a versioned header — format marker, I/O
+        version, the graph's mutation :attr:`~repro.graph.Graph.version`
+        snapshot, a structural fingerprint (node/edge counts,
+        directedness) and an adjacency/weight content digest — so
+        :meth:`load` can refuse to rebind the entries to a graph they were
+        not computed on, including a graph with the same shape but
+        different weights.  The graph itself is *not* serialised; pass it
+        to :meth:`load`.
+
+        .. warning::
+           The payload is pickle-based.  Only load index files from
+           trusted locations you (or your deployment) wrote — unpickling
+           attacker-controlled data can execute arbitrary code.  The magic
+           prefix keeps *accidental* non-index files away from the
+           unpickler; it is not a security boundary.
+
+        Raises
+        ------
+        IndexParameterError
+            If the graph mutated after the index was built: the entries
+            no longer describe the current adjacency, and the header
+            would pair the build-time version with a digest of the
+            mutated graph — a file :meth:`load` could mistake for fresh.
+        """
+        self.ensure_fresh()
+        payload = {
+            "format": _IO_FORMAT,
+            "io_version": _IO_VERSION,
+            "graph_version": self._graph_version,
+            "graph_nodes": self._graph.num_nodes,
+            "graph_edges": self._graph.num_edges,
+            "graph_directed": self._graph.directed,
+            "graph_digest": _graph_digest(self._graph),
+            "capacity": self._capacity,
+            "hubs": self._hubs,
+            "known": self._known,
+            "reverse": self._reverse,
+            "check": self._check,
+            "explored": self._explored,
+        }
+        target = Path(path)
+        with open(target, "wb") as handle:
+            handle.write(_IO_MAGIC)
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return target
+
+    @classmethod
+    def load(cls, path, graph) -> "HubIndex":
+        """Deserialise an index from ``path`` and bind it to ``graph``.
+
+        Only use ``path``\\ s you trust: the on-disk format is pickle-based
+        (see the :meth:`save` warning); the magic-prefix check runs before
+        any unpickling, so merely *wrong* files are rejected cheaply.
+
+        Raises
+        ------
+        IndexParameterError
+            When the file is not a hub-index payload, was written by an
+            incompatible I/O version, or describes a different graph — a
+            mismatched structural fingerprint, mutation version or
+            adjacency digest would silently serve wrong ranks.
+        """
+        with open(Path(path), "rb") as handle:
+            magic = handle.read(len(_IO_MAGIC))
+            if magic != _IO_MAGIC:
+                raise IndexParameterError(
+                    f"{path!s} is not a serialised hub index"
+                )
+            payload = pickle.load(handle)
+        if not isinstance(payload, dict) or payload.get("format") != _IO_FORMAT:
+            raise IndexParameterError(
+                f"{path!s} is not a serialised hub index"
+            )
+        if payload.get("io_version") != _IO_VERSION:
+            raise IndexParameterError(
+                f"unsupported hub-index I/O version {payload.get('io_version')!r} "
+                f"(this build reads version {_IO_VERSION})"
+            )
+        if (
+            payload["graph_nodes"] != graph.num_nodes
+            or payload["graph_edges"] != graph.num_edges
+            or payload["graph_directed"] != graph.directed
+        ):
+            raise IndexParameterError(
+                "serialised hub index describes a different graph "
+                f"(stored |V|={payload['graph_nodes']}, |E|={payload['graph_edges']}, "
+                f"directed={payload['graph_directed']}; got |V|={graph.num_nodes}, "
+                f"|E|={graph.num_edges}, directed={graph.directed})"
+            )
+        stored_version = payload["graph_version"]
+        current_version = getattr(graph, "version", None)
+        if stored_version is not None and stored_version != current_version:
+            raise IndexParameterError(
+                "serialised hub index is stale for this graph (stored graph "
+                f"version {stored_version}, current {current_version}); rebuild it"
+            )
+        if payload["graph_digest"] != _graph_digest(graph):
+            raise IndexParameterError(
+                "serialised hub index describes a different graph: the "
+                "adjacency/weight content digest does not match (same shape, "
+                "different wiring or weights); rebuild it"
+            )
+        index = cls(graph, payload["capacity"], payload["hubs"])
+        index._known = payload["known"]
+        index._reverse = payload["reverse"]
+        index._check = payload["check"]
+        index._explored = payload["explored"]
+        return index
 
     # ------------------------------------------------------------------
     # Introspection

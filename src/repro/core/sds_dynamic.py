@@ -30,6 +30,7 @@ def dynamic_reverse_k_ranks(
     bounds: Optional[BoundSet] = None,
     candidate: Optional[Predicate] = None,
     counted: Optional[Predicate] = None,
+    backend=None,
 ) -> QueryResult:
     """Answer a reverse k-ranks query with the Dynamic Bounded SDS-tree.
 
@@ -40,6 +41,10 @@ def dynamic_reverse_k_ranks(
         :meth:`BoundSet.all` (``Dynamic-Three``).  The count component is
         automatically ignored by the framework on directed graphs and in
         bichromatic mode, where Lemmas 3/4 do not apply.
+    backend:
+        Optional fresh :class:`~repro.graph.csr.CompactGraph` compilation
+        of ``graph``; the traversal then runs on the CSR fast path with
+        bit-identical results and stats.
     """
     active = BoundSet.all() if bounds is None else bounds
     search = SDSTreeSearch(
@@ -49,5 +54,6 @@ def dynamic_reverse_k_ranks(
         bounds=active,
         candidate=candidate,
         counted=counted,
+        backend=backend,
     )
     return search.run()

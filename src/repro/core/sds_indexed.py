@@ -34,6 +34,7 @@ def indexed_reverse_k_ranks(
     capacity: Optional[int] = None,
     strategy: Union[HubSelectionStrategy, str] = HubSelectionStrategy.DEGREE,
     rng: Optional[random.Random] = None,
+    backend=None,
 ) -> QueryResult:
     """Answer a reverse k-ranks query with the hub-indexed algorithm.
 
@@ -48,6 +49,11 @@ def indexed_reverse_k_ranks(
         an explicit index in real workloads.
     bounds:
         Theorem-2 bound components; defaults to :meth:`BoundSet.all`.
+    backend:
+        Optional fresh :class:`~repro.graph.csr.CompactGraph` compilation
+        of ``graph``.  The index stays keyed by node identifiers (and keeps
+        learning), while the traversal and refinements run on the CSR fast
+        path.
     """
     if index is None:
         index = HubIndex.build(
@@ -57,6 +63,7 @@ def indexed_reverse_k_ranks(
             capacity=max(k, 16) if capacity is None else capacity,
             strategy=strategy,
             rng=rng,
+            backend=backend,
         )
     search = SDSTreeSearch(
         graph,
@@ -65,5 +72,6 @@ def indexed_reverse_k_ranks(
         bounds=BoundSet.all() if bounds is None else bounds,
         index=index,
         algorithm_label="Indexed",
+        backend=backend,
     )
     return search.run()

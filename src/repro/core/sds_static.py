@@ -27,11 +27,15 @@ def static_reverse_k_ranks(
     k: int,
     candidate: Optional[Predicate] = None,
     counted: Optional[Predicate] = None,
+    backend=None,
 ) -> QueryResult:
     """Answer a reverse k-ranks query with the static SDS-tree.
 
     Parameters mirror :func:`~repro.core.naive.naive_reverse_k_ranks`; the
     ``candidate`` / ``counted`` predicates support the bichromatic variant.
+    ``backend`` optionally supplies a fresh
+    :class:`~repro.graph.csr.CompactGraph` compilation of ``graph`` so the
+    traversal runs on the CSR fast path (results are identical either way).
     """
     search = SDSTreeSearch(
         graph,
@@ -40,5 +44,6 @@ def static_reverse_k_ranks(
         bounds=BoundSet.none(),
         candidate=candidate,
         counted=counted,
+        backend=backend,
     )
     return search.run()

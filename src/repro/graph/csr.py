@@ -27,13 +27,59 @@ Design notes
 
 from __future__ import annotations
 
+import weakref
 from array import array
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import NodeNotFoundError
+from repro.errors import GraphValidationError, NodeNotFoundError
 from repro.graph.graph import Graph, NodeId, Weight
 
-__all__ = ["CompactGraph"]
+__all__ = ["CompactGraph", "ensure_backend_fresh"]
+
+
+def ensure_backend_fresh(graph, backend, exc_type=GraphValidationError) -> None:
+    """Reject ``backend`` unless it is a fresh compilation of ``graph``.
+
+    The single gate every consumer of a caller-supplied CSR compilation
+    uses (SDS entry points, hub-index builds): ``backend`` must carry the
+    ``is_compact`` marker, must have been compiled from ``graph`` itself
+    (identity via the compilation's source weakref, when still alive), and
+    must match ``graph``'s node count and mutation version.  ``exc_type``
+    lets callers surface their domain exception.
+    """
+    if not getattr(backend, "is_compact", False):
+        raise exc_type(
+            "backend must be a CompactGraph compilation of the query graph"
+        )
+    if getattr(backend, "is_transposed", False):
+        # A reverse_view() shares the source weakref, node count and
+        # version of the forward compilation but has in/out adjacency
+        # swapped — traversing it as the forward graph yields wrong ranks.
+        raise exc_type(
+            "backend is a transposed (reverse_view) compilation; pass the "
+            "forward CompactGraph"
+        )
+    source = backend.source_graph
+    if source is not None and source is not graph:
+        raise exc_type(
+            "backend CSR compilation was built from a different graph; "
+            "recompile it for this one"
+        )
+    if backend.num_nodes != graph.num_nodes:
+        raise exc_type(
+            "backend CSR compilation does not match the query graph "
+            f"({backend.num_nodes} vs {graph.num_nodes} nodes)"
+        )
+    version = getattr(graph, "version", None)
+    if (
+        version is not None
+        and backend.source_version is not None
+        and backend.source_version != version
+    ):
+        raise exc_type(
+            "backend CSR compilation is stale: graph version "
+            f"{version} vs compiled {backend.source_version}; recompile it"
+        )
 
 
 class CompactGraph:
@@ -64,6 +110,8 @@ class CompactGraph:
         "_in_sources",
         "_in_weights",
         "_source_version",
+        "_source_ref",
+        "_transposed",
     )
 
     def __init__(
@@ -80,6 +128,8 @@ class CompactGraph:
         name: str = "",
         source_version: Optional[int] = None,
         index_of: Optional[Dict[NodeId, int]] = None,
+        source_graph=None,
+        transposed: bool = False,
     ) -> None:
         self._directed = directed
         self.name = name
@@ -97,6 +147,17 @@ class CompactGraph:
         self._in_sources = in_sources
         self._in_weights = in_weights
         self._source_version = source_version
+        # Weakly remember the source graph's identity so freshness checks
+        # can reject a compilation of a *different* graph that happens to
+        # share node count and mutation version; a weakref keeps the view
+        # from pinning its source alive.
+        self._source_ref = None
+        if source_graph is not None:
+            try:
+                self._source_ref = weakref.ref(source_graph)
+            except TypeError:  # source type without weakref support
+                self._source_ref = None
+        self._transposed = transposed
 
     # ------------------------------------------------------------------
     # Construction
@@ -147,6 +208,7 @@ class CompactGraph:
             name=graph.name,
             source_version=getattr(graph, "version", None),
             index_of=index_of,
+            source_graph=graph,
         )
 
     # ------------------------------------------------------------------
@@ -179,6 +241,17 @@ class CompactGraph:
     def source_version(self) -> Optional[int]:
         """The source graph's :attr:`~repro.graph.Graph.version` at compile time."""
         return self._source_version
+
+    @property
+    def source_graph(self):
+        """The graph this view was compiled from, or ``None`` if collected."""
+        reference = self._source_ref
+        return reference() if reference is not None else None
+
+    @property
+    def is_transposed(self) -> bool:
+        """Whether this view is a :meth:`reverse_view` of its source graph."""
+        return self._transposed
 
     def __len__(self) -> int:
         return self.num_nodes
@@ -335,6 +408,35 @@ class CompactGraph:
     # ------------------------------------------------------------------
     # Conversion
     # ------------------------------------------------------------------
+    def reverse_view(self) -> "CompactGraph":
+        """The transpose as another :class:`CompactGraph`, sharing buffers.
+
+        The reversed view swaps the out- and in-adjacency buffer triples in
+        O(1) — no copying — so backward traversals (the SDS-tree grows over
+        in-edges) stay on the array fast paths:
+        :func:`~repro.graph.views.transpose_view` returns this instead of a
+        generic wrapper when handed a directed compact graph.  Undirected
+        graphs are their own transpose and are returned unchanged.
+        """
+        if not self._directed:
+            return self
+        return CompactGraph(
+            directed=True,
+            nodes=self._nodes,
+            out_offsets=self._in_offsets,
+            out_targets=self._in_sources,
+            out_weights=self._in_weights,
+            in_offsets=self._out_offsets,
+            in_sources=self._out_targets,
+            in_weights=self._out_weights,
+            num_edges=self._num_edges,
+            name=f"{self.name}^T" if self.name else "",
+            source_version=self._source_version,
+            index_of=self._index_of,
+            source_graph=self.source_graph,
+            transposed=not self._transposed,
+        )
+
     def to_graph(self) -> Graph:
         """Decompile back into a mutable :class:`~repro.graph.Graph`."""
         graph = Graph(directed=self._directed, name=self.name)

@@ -77,7 +77,17 @@ class Graph:
     1.0
     """
 
-    __slots__ = ("_directed", "_succ", "_pred", "_num_edges", "_version", "name")
+    # __weakref__ lets CompactGraph compilations remember their source
+    # graph's identity without keeping it alive.
+    __slots__ = (
+        "_directed",
+        "_succ",
+        "_pred",
+        "_num_edges",
+        "_version",
+        "name",
+        "__weakref__",
+    )
 
     def __init__(self, directed: bool = False, name: str = "") -> None:
         self._directed = bool(directed)

@@ -94,9 +94,16 @@ def transpose_view(graph: Graph) -> "Graph | TransposeView":
     """Return a traversal-compatible transpose of ``graph``.
 
     For undirected graphs the transpose equals the graph itself, so the
-    original object is returned unchanged (no wrapper overhead).  For
-    directed graphs a :class:`TransposeView` is returned.
+    original object is returned unchanged (no wrapper overhead).  Directed
+    :class:`~repro.graph.csr.CompactGraph` inputs return their O(1)
+    buffer-swapping :meth:`~repro.graph.csr.CompactGraph.reverse_view`, so
+    backward expansions keep hitting the array fast paths (a generic
+    wrapper would hide the ``is_compact`` marker and fall back to
+    duck-typed iteration).  Other directed graphs get a
+    :class:`TransposeView`.
     """
     if not graph.directed:
         return graph
+    if getattr(graph, "is_compact", False):
+        return graph.reverse_view()
     return TransposeView(graph)

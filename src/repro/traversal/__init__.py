@@ -5,6 +5,10 @@ lives here:
 
 * :class:`~repro.traversal.heap.AddressableHeap` — a binary min-heap with
   decrease-key, the priority queue ``Q`` of the paper's pseudo-code;
+* :class:`~repro.traversal.int_heap.IntHeap` — its array-backed twin over
+  dense int keys, used by the CSR-specialised loops;
+* :mod:`~repro.traversal.csr_sds` — the CSR index-space SDS-tree +
+  refinement pipeline (dispatched to by :mod:`repro.core.framework`);
 * :mod:`~repro.traversal.dijkstra` — full, bounded and *lazy* (incremental)
   single-source shortest path searches;
 * :mod:`~repro.traversal.knn` — top-k nearest nodes (graph k-NN);
@@ -13,6 +17,7 @@ lives here:
 """
 
 from repro.traversal.heap import AddressableHeap
+from repro.traversal.int_heap import IntHeap
 from repro.traversal.dijkstra import (
     DijkstraSearch,
     shortest_path_distances,
@@ -31,6 +36,7 @@ from repro.traversal.csr_ops import (
 
 __all__ = [
     "AddressableHeap",
+    "IntHeap",
     "DijkstraSearch",
     "ShortestPathTree",
     "shortest_path_distances",

@@ -1,0 +1,352 @@
+"""CSR index-space specialisation of the SDS-tree filter-and-refine pipeline.
+
+This is the hot-loop twin of :class:`repro.core.framework.SDSTreeSearch`
+plus :func:`repro.core.refinement.refine_rank`: the same traversal, bound
+checks and bounded refinements, but running over the flat
+:class:`~repro.graph.csr.CompactGraph` adjacency buffers with integer node
+indexes and an :class:`~repro.traversal.int_heap.IntHeap` frontier — no
+node-id hashing, no per-neighbour generator frames, no dict-of-dict
+adjacency walks.  :meth:`SDSTreeSearch.run` dispatches here automatically
+when the traversed graph is compact (or a compact ``backend`` compilation
+of it is supplied); node identifiers are translated to CSR indexes once at
+query entry and back only at the few boundaries that leave index space
+(result-set offers and hub-index reads/writes).
+
+Exactness
+---------
+The traversal is a *transcription*, not a re-derivation: every decision the
+dict-backed framework makes is made here in the same order on the same IEEE
+doubles.  Three properties guarantee that:
+
+* :class:`IntHeap` breaks priority ties by insertion order and preserves a
+  key's insertion counter across ``decrease_key``, exactly like
+  :class:`~repro.traversal.heap.AddressableHeap`, so nodes pop in the same
+  order;
+* :class:`CompactGraph` compiles adjacency rows in the source graph's
+  iteration order, so neighbours relax in the same order and tentative
+  distances are produced by the same float additions;
+* the bound bookkeeping (parent rank, tree height, ``lcount``) and the
+  refinement's tie-group arithmetic mirror the originals statement by
+  statement.
+
+Consequently ranks, refinement counts and every other
+:class:`~repro.core.types.QueryStats` counter are bit-identical between the
+two backends — the parity suite asserts exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional
+
+from repro.traversal.int_heap import IntHeap
+
+NodeId = Hashable
+Predicate = Callable[[NodeId], bool]
+
+__all__ = ["CompactSDSTreeSearch"]
+
+#: Mirrors :data:`repro.core.types.PRUNED` without importing the core layer
+#: at module scope (traversal sits below core in the layering).
+_PRUNED = -1
+
+
+class CompactSDSTreeSearch:
+    """One reverse k-ranks query evaluated on CSR buffers.
+
+    Constructed by :meth:`repro.core.framework.SDSTreeSearch.run`; mutates
+    the caller's collector and stats in place so result assembly and
+    labelling stay in one place.  All parameters are pre-resolved by the
+    caller (bound activation flags instead of a ``BoundSet``, the query as
+    a node id, predicates over node ids).
+    """
+
+    __slots__ = (
+        "_csr",
+        "_query_node",
+        "_query_index",
+        "_collector",
+        "_stats",
+        "_index",
+        "_use_parent",
+        "_height_active",
+        "_count_active",
+        "_candidate_mask",
+        "_counted_mask",
+        "_rev_offsets",
+        "_rev_endpoints",
+        "_rev_weights",
+        "_fwd_offsets",
+        "_fwd_endpoints",
+        "_fwd_weights",
+        "_parent_bound",
+        "_height_bound",
+        "_lcount",
+    )
+
+    def __init__(
+        self,
+        csr,
+        query: NodeId,
+        collector,
+        stats,
+        index=None,
+        use_parent: bool = False,
+        height_active: bool = False,
+        count_active: bool = False,
+        candidate: Optional[Predicate] = None,
+        counted: Optional[Predicate] = None,
+    ) -> None:
+        self._csr = csr
+        self._query_node = query
+        self._query_index = csr.index_of(query)
+        self._collector = collector
+        self._stats = stats
+        self._index = index
+        self._use_parent = use_parent
+        self._height_active = height_active
+        self._count_active = count_active
+
+        # Predicates are evaluated once per node into flat masks; they are
+        # pure membership tests (bichromatic partitions), so eager
+        # evaluation cannot change their answers.
+        nodes = csr.node_ids
+        self._candidate_mask = (
+            None
+            if candidate is None
+            else bytearray(1 if candidate(node) else 0 for node in nodes)
+        )
+        self._counted_mask = (
+            None
+            if counted is None
+            else bytearray(1 if counted(node) else 0 for node in nodes)
+        )
+
+        # The SDS-tree grows towards q, i.e. over in-adjacency; refinements
+        # run outwards from each candidate, i.e. over out-adjacency.
+        self._rev_offsets, self._rev_endpoints, self._rev_weights = csr.in_csr()
+        self._fwd_offsets, self._fwd_endpoints, self._fwd_weights = csr.out_csr()
+
+        num_nodes = csr.num_nodes
+        # Dense twins of the framework's per-node dicts, pre-filled with the
+        # defaults its .get() calls fall back to.
+        self._parent_bound = [0.0] * num_nodes
+        self._height_bound = [1] * num_nodes
+        self._lcount = [0] * num_nodes
+
+    # ------------------------------------------------------------------
+    # SDS-tree traversal (Dijkstra towards q over the in-adjacency rows)
+    # ------------------------------------------------------------------
+    def traverse(self) -> None:
+        """Run the traversal, mutating the shared collector and stats."""
+        csr = self._csr
+        query_index = self._query_index
+        rev_offsets = self._rev_offsets
+        rev_endpoints = self._rev_endpoints
+        rev_weights = self._rev_weights
+        parent_bound = self._parent_bound
+        height_bound = self._height_bound
+        counted_mask = self._counted_mask
+        stats = self._stats
+
+        num_nodes = csr.num_nodes
+        heap = IntHeap(num_nodes)
+        settled = bytearray(num_nodes)
+        heap.push(query_index, 0.0)
+        heap_pop = heap.pop
+        heap_push_or_decrease = heap.push_or_decrease
+        process_candidate = self._process_candidate
+        tree_pops = 0
+        tree_pushes = 0
+
+        while heap:
+            node, distance = heap_pop()
+            settled[node] = 1
+            tree_pops += 1
+
+            if node == query_index:
+                child_height = 1
+                child_parent_bound = 0.0
+            else:
+                expand_bound = process_candidate(node, distance)
+                if expand_bound is None:
+                    continue
+                child_height = height_bound[node] + (
+                    1 if counted_mask is None or counted_mask[node] else 0
+                )
+                child_parent_bound = expand_bound
+
+            for position in range(rev_offsets[node], rev_offsets[node + 1]):
+                neighbor = rev_endpoints[position]
+                if settled[neighbor]:
+                    continue
+                if heap_push_or_decrease(
+                    neighbor, distance + rev_weights[position]
+                ):
+                    tree_pushes += 1
+                    height_bound[neighbor] = child_height
+                    parent_bound[neighbor] = child_parent_bound
+
+        stats.tree_pops += tree_pops
+        stats.tree_pushes += tree_pushes
+
+    # ------------------------------------------------------------------
+    # Candidate processing (mirror of SDSTreeSearch._process_candidate)
+    # ------------------------------------------------------------------
+    def _process_candidate(self, node: int, distance: float) -> Optional[float]:
+        candidate_mask = self._candidate_mask
+        is_candidate = candidate_mask is None or bool(candidate_mask[node])
+        collector = self._collector
+        stats = self._stats
+        index = self._index
+        k_rank = collector.k_rank
+
+        node_id = None
+        if is_candidate and index is not None:
+            node_id = self._csr.node_at(node)
+            known = index.known_rank(node_id, self._query_node)
+            if known is not None:
+                stats.answered_by_index += 1
+                collector.offer(node_id, known)
+                if known <= collector.k_rank:
+                    return float(known)
+                return None
+
+        lower_bound, winner = self._lower_bound(node, node_id)
+        if winner is not None:
+            stats.record_bound_win(winner)
+
+        if not is_candidate:
+            if lower_bound >= k_rank:
+                stats.pruned_by_bound += 1
+                return None
+            parent = self._parent_bound[node]
+            return parent if parent > lower_bound else lower_bound
+
+        if lower_bound >= k_rank:
+            if winner == "index":
+                stats.pruned_by_check_dictionary += 1
+            else:
+                stats.pruned_by_bound += 1
+            return None
+
+        rank = self._refine(node, distance, k_rank)
+        if rank is None:
+            return None
+        collector.offer(self._csr.node_at(node), rank)
+        return float(rank)
+
+    def _lower_bound(self, node: int, node_id) -> "tuple[float, Optional[str]]":
+        """Theorem-2 lower bound with the framework's winner attribution.
+
+        ``node_id`` is the already-translated identifier when the caller
+        has one (indexed mode), else ``None`` and translated on demand.
+        """
+        best = None
+        winner = None
+        if self._use_parent:
+            best = self._parent_bound[node]
+            winner = "parent"
+        if self._height_active:
+            value = float(self._height_bound[node])
+            if best is None or value > best:
+                best = value
+                winner = "height"
+        if self._count_active:
+            value = float(self._lcount[node])
+            if best is None or value > best:
+                best = value
+                winner = "count"
+        if self._index is not None:
+            if node_id is None:
+                node_id = self._csr.node_at(node)
+            check_value = self._index.check_value(node_id)
+            if check_value is not None:
+                value = float(check_value)
+                if best is None or value > best:
+                    best = value
+                    winner = "index"
+        if best is None:
+            return 0.0, None
+        return best, winner
+
+    # ------------------------------------------------------------------
+    # Bounded rank refinement (mirror of refinement.refine_rank plus the
+    # framework's _refine wiring, fused into one index-space loop)
+    # ------------------------------------------------------------------
+    def _refine(self, source: int, radius: float, k_rank: float) -> Optional[int]:
+        stats = self._stats
+        stats.rank_refinements += 1
+        csr = self._csr
+        index = self._index
+        fwd_offsets = self._fwd_offsets
+        fwd_endpoints = self._fwd_endpoints
+        fwd_weights = self._fwd_weights
+        counted_mask = self._counted_mask
+        lcount = self._lcount
+        query_index = self._query_index
+        node_at = csr.node_at
+        source_id = node_at(source) if index is not None else None
+
+        num_nodes = csr.num_nodes
+        heap = IntHeap(num_nodes)
+        heap.push(source, 0.0)
+        heap_pop = heap.pop
+        heap_push_or_decrease = heap.push_or_decrease
+        settled = bytearray(num_nodes)
+        settled_count = 0
+        # Nodes already counted into lcount; a node may only cross below
+        # the radius via a later decrease-key and must count exactly once.
+        notified = bytearray(num_nodes) if self._count_active else None
+
+        closer_counted = 0
+        tie_counted = 0
+        previous_distance: Optional[float] = None
+        rank = _PRUNED
+
+        while heap:
+            node, distance = heap_pop()
+            settled[node] = 1
+            settled_count += 1
+
+            if node != source:
+                if previous_distance is None or distance > previous_distance:
+                    closer_counted += tie_counted
+                    tie_counted = 0
+                    previous_distance = distance
+                    if closer_counted + 1 > k_rank:
+                        break
+                node_rank = closer_counted + 1
+                if index is not None:
+                    index.record_rank(source_id, node_at(node), node_rank)
+                if node == query_index:
+                    rank = node_rank
+                    break
+                if counted_mask is None or counted_mask[node]:
+                    tie_counted += 1
+
+            if notified is None:
+                for position in range(fwd_offsets[node], fwd_offsets[node + 1]):
+                    neighbor = fwd_endpoints[position]
+                    if not settled[neighbor]:
+                        heap_push_or_decrease(
+                            neighbor, distance + fwd_weights[position]
+                        )
+            else:
+                for position in range(fwd_offsets[node], fwd_offsets[node + 1]):
+                    neighbor = fwd_endpoints[position]
+                    if settled[neighbor]:
+                        continue
+                    candidate = distance + fwd_weights[position]
+                    heap_push_or_decrease(neighbor, candidate)
+                    if candidate < radius and not notified[neighbor]:
+                        notified[neighbor] = 1
+                        lcount[neighbor] += 1
+
+        settled_excluding_source = settled_count - 1
+        stats.refinement_nodes_settled += settled_excluding_source
+        if index is not None:
+            index.record_exploration(source_id, settled_excluding_source)
+        if rank == _PRUNED:
+            stats.refinements_pruned += 1
+            return None
+        return rank

@@ -76,6 +76,29 @@ def test_unknown_family_and_scale_rejected():
         build_suite(scale="gigantic")
 
 
+def test_large_scale_defines_sampled_monochromatic_workloads():
+    # Only the (cheap-to-generate) path family is materialised; the other
+    # large presets are thousands of nodes and belong to the bench itself.
+    (workload,) = build_suite(families=["path"], scale="large")
+    assert workload.num_nodes >= 2000
+    assert workload.naive_sample
+    assert workload.index_params
+    described = workload.describe()
+    assert described["naive_sample"] == workload.naive_sample
+    assert described["index_params"] == workload.index_params
+    from repro.bench.workloads import _SCALES
+
+    assert sorted(_SCALES["large"]) == ["gnp", "grid", "path", "powerlaw"]
+    # Bichromatic has no large preset yet; asking for it explicitly fails.
+    with pytest.raises(WorkloadError):
+        build_suite(families=["bichromatic"], scale="large")
+
+
+def test_combined_scales_concatenate_suites():
+    suite = build_suite(scale="smoke,default", families=["gnp"])
+    assert [workload.name for workload in suite] == ["gnp-n30", "gnp-n120"]
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -103,7 +126,53 @@ def test_harness_skips_indexed_on_bichromatic():
     assert result.algorithms["indexed"].skipped
     assert not result.algorithms["indexed"].repetitions
     assert result.algorithms["dynamic"].validated is True
-    assert result.backend == "dict"
+    # Bichromatic queries run on the CSR backend too (the SDS fast path
+    # supports the partition predicates) and are checked against dict.
+    assert result.backend == "csr"
+    assert result.backend_consistent is True
+
+
+def test_harness_samples_naive_on_large_workloads():
+    workload = gnp_workload(
+        num_nodes=36, avg_degree=4.0, seed=5, num_queries=2, k=3,
+        naive_sample=10, index_params={"num_hubs": 3, "explore_limit": 18},
+    )
+    result = run_workload(workload, repetitions=1, warmup=0)
+    naive = result.algorithms["naive"]
+    assert naive.sampled_candidates == 10
+    # Extrapolation scales the sampled batch to all |V| - 1 candidates.
+    assert naive.estimated_full_seconds == pytest.approx(
+        naive.mean_seconds * (36 - 1) / 10
+    )
+    assert naive.validated is True
+    # Optimised algorithms are spot-checked against the sampled exact
+    # ranks (and each other) and still count as validated.
+    for name in ("static", "dynamic", "indexed"):
+        timing = result.algorithms[name]
+        assert timing.validated is True, name
+        assert timing.speedup_vs_naive is not None
+    assert result.backend_consistent is True
+    payload = result.as_dict()
+    assert payload["algorithms"]["naive"]["sampled_candidates"] == 10
+    assert payload["algorithms"]["naive"]["estimated_full_seconds"] > 0
+
+
+def test_harness_index_cache_round_trip(tmp_path):
+    workload = gnp_workload(num_nodes=24, avg_degree=4.0, seed=7, num_queries=2, k=2)
+    cold = run_workload(
+        workload, repetitions=1, warmup=0, index_cache=tmp_path
+    )
+    assert cold.algorithms["indexed"].index_cache == "miss"
+    assert list(tmp_path.glob("*.hubindex"))
+
+    # Workloads regenerate deterministically, so a fresh graph object with
+    # the same mutation history accepts the cached index.
+    rebuilt = gnp_workload(num_nodes=24, avg_degree=4.0, seed=7, num_queries=2, k=2)
+    warm = run_workload(
+        rebuilt, repetitions=1, warmup=0, index_cache=tmp_path
+    )
+    assert warm.algorithms["indexed"].index_cache == "hit"
+    assert warm.algorithms["indexed"].validated is True
 
 
 # ----------------------------------------------------------------------
@@ -153,6 +222,29 @@ def test_cli_family_subset(tmp_path):
     assert exit_code == 0
     report = json.loads(output.read_text())
     assert [workload["family"] for workload in report["workloads"]] == ["path", "grid"]
+
+
+def test_cli_scale_overrides_smoke_timing_defaults(tmp_path):
+    # --scale overrides --smoke wholesale: the resolved scale, not the
+    # flag, picks the repetition/warmup defaults, so `--smoke --scale
+    # smoke` stays cold/fast while any other --scale gets the full 3+1.
+    output = tmp_path / "bench.json"
+    exit_code = bench_main(
+        ["--smoke", "--scale", "smoke", "--families", "path",
+         "--output", str(output), "--quiet"]
+    )
+    assert exit_code == 0
+    config = json.loads(output.read_text())["config"]
+    assert (config["repetitions"], config["warmup"]) == (1, 0)
+
+    exit_code = bench_main(
+        ["--smoke", "--scale", "default", "--families", "path",
+         "--output", str(output), "--quiet"]
+    )
+    assert exit_code == 0
+    config = json.loads(output.read_text())["config"]
+    assert config["scale"] == "default"
+    assert (config["repetitions"], config["warmup"]) == (3, 1)
 
 
 def test_cli_rejects_unknown_family(tmp_path, capsys):
