@@ -20,6 +20,12 @@ default one, with hub indexes cached on disk between runs::
 
     python -m repro.bench --scale default,large --index-cache .bench-index-cache
 
+The worker-process scaling axis: time every algorithm in-process *and*
+through a 2-worker shard pool (extra rows keyed ``name@w2``, each checked
+rank-identical against its sequential reference)::
+
+    python -m repro.bench --workers 1,2
+
 Exit status is non-zero when any algorithm disagrees with the naive
 baseline (or, on sampled large-scale workloads, the exact-rank spot
 checks) or the CSR backend diverges from the dict backend.
@@ -72,6 +78,26 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         help=(
             "directory for hub-index save/load: the indexed algorithm "
             "loads a cached index when fresh and builds+saves otherwise"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        default="1",
+        metavar="N[,M...]",
+        help=(
+            "worker-process axis: one value (e.g. 2) times every batch "
+            "through that many sharded worker processes; a comma list "
+            "(e.g. 1,2) times each value, keying extra rows name@wN "
+            "(default: 1, in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--worker-context",
+        default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help=(
+            "multiprocessing start method for parallel passes "
+            "(default: the platform default)"
         ),
     )
     parser.add_argument(
@@ -137,6 +163,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.families
         else None
     )
+    try:
+        workers = [
+            int(part) for part in args.workers.split(",") if part.strip()
+        ]
+    except ValueError:
+        print(
+            f"error: --workers expects integers, got {args.workers!r}",
+            file=sys.stderr,
+        )
+        return 2
     progress = None if args.quiet else (lambda line: print(line, flush=True))
 
     try:
@@ -148,6 +184,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             use_csr=not args.no_csr,
             validate=not args.no_validate,
             index_cache=args.index_cache,
+            workers=workers,
+            worker_context=args.worker_context,
             progress=progress,
         )
     except WorkloadError as exc:
@@ -166,6 +204,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "seed": args.seed,
             "use_csr": not args.no_csr,
             "validate": not args.no_validate,
+            "workers": workers,
+            "worker_context": args.worker_context,
             "families": [workload.family for workload in workloads],
         },
     )

@@ -46,7 +46,12 @@ from repro.core.hub_index import HubIndex
 from repro.core.naive import naive_reverse_k_ranks
 from repro.core.types import QueryResult
 from repro.core.validation import results_equivalent
-from repro.errors import CrossValidationError, IndexParameterError, WorkloadError
+from repro.errors import (
+    CrossValidationError,
+    IndexParameterError,
+    WorkloadError,
+    is_positive_int,
+)
 from repro.traversal.rank import exact_rank
 
 __all__ = ["AlgorithmTiming", "WorkloadResult", "run_workload", "run_suite"]
@@ -63,7 +68,12 @@ _KIND_ORDER = (
 
 @dataclass
 class AlgorithmTiming:
-    """Wall-clock timings (and work counters) for one algorithm on one workload."""
+    """Wall-clock timings (and work counters) for one algorithm on one workload.
+
+    ``algorithm`` doubles as the row key in the report: plain algorithm
+    names for the first ``--workers`` value of a run, ``name@wN`` for
+    every further value — so one report can carry a whole scaling axis.
+    """
 
     algorithm: str
     repetitions: List[float] = field(default_factory=list)
@@ -78,6 +88,11 @@ class AlgorithmTiming:
     estimated_full_seconds: Optional[float] = None
     #: ``"hit"`` / ``"miss"`` when an ``index_cache`` directory was used.
     index_cache: Optional[str] = None
+    #: How many worker processes executed the timed batches (1 = in-process).
+    workers: int = 1
+    #: Parallel rows only: this run's same-algorithm single-process batch
+    #: time divided by this row's — the direct process-scaling factor.
+    speedup_vs_serial: Optional[float] = None
 
     @property
     def mean_seconds(self) -> Optional[float]:
@@ -109,7 +124,10 @@ class AlgorithmTiming:
             "rank_refinements": self.rank_refinements,
             "validated": self.validated,
             "speedup_vs_naive": self.speedup_vs_naive,
+            "workers": self.workers,
         }
+        if self.speedup_vs_serial is not None:
+            payload["speedup_vs_serial"] = self.speedup_vs_serial
         if self.index_build_seconds is not None:
             payload["index_build_seconds"] = self.index_build_seconds
         if self.skipped is not None:
@@ -130,12 +148,17 @@ class WorkloadResult:
     backend: str
     algorithms: Dict[str, AlgorithmTiming] = field(default_factory=dict)
     backend_consistent: Optional[bool] = None
+    #: ``True`` when every parallel batch reproduced its sequential
+    #: reference (rank-identical); ``None`` when no parallel pass ran.
+    parallel_consistent: Optional[bool] = None
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready view."""
         payload = self.workload.describe()
         payload["backend"] = self.backend
         payload["backend_consistent"] = self.backend_consistent
+        if self.parallel_consistent is not None:
+            payload["parallel_consistent"] = self.parallel_consistent
         payload["algorithms"] = {
             name: timing.as_dict(len(self.workload.queries))
             for name, timing in self.algorithms.items()
@@ -267,6 +290,57 @@ def _check_backend_consistency(
     return True
 
 
+def _normalise_workers(workers) -> List[int]:
+    """Normalise the ``workers`` axis to an ordered, deduplicated int list."""
+    if isinstance(workers, bool):
+        raise WorkloadError(f"workers must be positive integers, got {workers!r}")
+    if isinstance(workers, int):
+        values = [workers]
+    else:
+        values = list(workers)
+    seen = []
+    for value in values:
+        if not is_positive_int(value):
+            raise WorkloadError(
+                f"workers must be positive integers, got {value!r}"
+            )
+        if value not in seen:
+            seen.append(value)
+    if not seen:
+        raise WorkloadError("workers axis must name at least one value")
+    return seen
+
+
+def _check_parallel_consistency(
+    workload: Workload,
+    kind: AlgorithmKind,
+    reference: List[QueryResult],
+    batch: List[QueryResult],
+    label: str,
+) -> None:
+    """Assert a parallel batch reproduces its sequential reference.
+
+    Naive/static/dynamic (and their bichromatic variants) are pure
+    functions of the graph, so parallel results must match pair for pair.
+    Indexed queries consult worker-local index snapshots that lag the
+    sequentially-warmed master, which can change the *identity* of
+    entries tied exactly at the boundary rank — never a rank value — so
+    they are held to :func:`results_equivalent` instead.
+    """
+    for expected, actual in zip(reference, batch):
+        if kind is AlgorithmKind.INDEXED:
+            consistent = results_equivalent(expected, actual)
+        else:
+            consistent = expected.as_pairs() == actual.as_pairs()
+        if not consistent:
+            raise CrossValidationError(
+                f"parallel {label} diverges from its sequential reference on "
+                f"workload {workload.name!r} for query={expected.query!r}: "
+                f"sequential={expected.as_pairs()!r} vs "
+                f"parallel={actual.as_pairs()!r}"
+            )
+
+
 def run_workload(
     workload: Workload,
     repetitions: int = 3,
@@ -276,8 +350,10 @@ def run_workload(
     check_backend: bool = True,
     num_hubs: Optional[int] = None,
     index_cache: Optional[object] = None,
+    workers=1,
+    worker_context: Optional[str] = None,
 ) -> WorkloadResult:
-    """Time all four algorithms on ``workload``.
+    """Time all four algorithms on ``workload``, across the ``workers`` axis.
 
     Parameters
     ----------
@@ -293,7 +369,9 @@ def run_workload(
     validate:
         Cross-validate every algorithm's results against naive in-run; on
         sampled (large-scale) workloads this becomes the spot-check and
-        pairwise validation described in the module docstring.
+        pairwise validation described in the module docstring.  Parallel
+        passes are *additionally* checked rank-identical against a
+        sequential reference batch regardless of this flag.
     check_backend:
         Additionally assert CSR results == dict results.
     num_hubs:
@@ -302,18 +380,35 @@ def run_workload(
     index_cache:
         Optional directory for :meth:`HubIndex.load`/:meth:`HubIndex.save`
         warm restarts of the indexed algorithm.
+    workers:
+        One int or an iterable of ints — the worker-process axis.  The
+        first value keys its rows by plain algorithm name; every further
+        value adds ``name@wN`` rows (so one report carries the scaling
+        curve).  Values above 1 run the timed batches through
+        :meth:`~repro.core.engine.ReverseKRanksEngine.query_many`'s
+        sharded worker pool, started *outside* the timed windows.
+    worker_context:
+        Multiprocessing start method for parallel passes (``None`` =
+        platform default).
 
     Raises
     ------
     CrossValidationError
         When any algorithm disagrees with the (possibly sampled) naive
-        baseline, or the CSR backend disagrees with the dict backend.
+        baseline, the CSR backend disagrees with the dict backend, or a
+        parallel batch is not rank-identical to its sequential reference.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
     if workload.naive_sample is not None and workload.partition is not None:
         raise WorkloadError(
             "sampled naive baselines are monochromatic-only for now"
+        )
+    workers_axis = _normalise_workers(workers)
+    if not use_csr and any(value > 1 for value in workers_axis):
+        raise WorkloadError(
+            "parallel passes require the CSR backend; drop --no-csr or "
+            "run with workers=1"
         )
     graph = workload.graph
     result = WorkloadResult(
@@ -325,6 +420,8 @@ def run_workload(
     reference_label = ""
     sample: Optional[List[object]] = None
     sample_ranks: Optional[Dict[object, Dict[object, float]]] = None
+    #: kind -> sequential batch, the parallel passes' consistency reference.
+    serial_batches: Dict[AlgorithmKind, List[QueryResult]] = {}
 
     # One engine per workload: its version-keyed CSR cache compiles the
     # CompactGraph exactly once, outside every timed window (with warmup=0
@@ -334,79 +431,148 @@ def run_workload(
     if workload.naive_sample is not None:
         sample = _sample_candidates(workload)
 
-    for kind in _KIND_ORDER:
-        timing = AlgorithmTiming(algorithm=kind.value)
-        result.algorithms[kind.value] = timing
+    try:
+        for pass_index, num_workers in enumerate(workers_axis):
+            base_pass = pass_index == 0
+            for kind in _KIND_ORDER:
+                key = (
+                    kind.value if base_pass else f"{kind.value}@w{num_workers}"
+                )
+                timing = AlgorithmTiming(algorithm=key, workers=num_workers)
+                result.algorithms[key] = timing
 
-        if workload.partition is not None and kind is AlgorithmKind.INDEXED:
-            timing.skipped = "indexed algorithm is monochromatic-only"
-            continue
+                if (
+                    workload.partition is not None
+                    and kind is AlgorithmKind.INDEXED
+                ):
+                    timing.skipped = "indexed algorithm is monochromatic-only"
+                    continue
 
-        if kind is AlgorithmKind.NAIVE and sample is not None:
-            _time_sampled_naive(
-                workload, search_graph, sample, timing, repetitions, warmup
-            )
-            continue
-
-        if kind is AlgorithmKind.INDEXED:
-            _prepare_index(
-                workload, engine, timing, num_hubs, index_cache, use_csr
-            )
-
-        for _ in range(warmup):
-            engine.query_many(
-                workload.queries, workload.k, algorithm=kind, use_csr=use_csr
-            )
-
-        batch: List[QueryResult] = []
-        for _ in range(repetitions):
-            started = time.perf_counter()
-            batch = engine.query_many(
-                workload.queries, workload.k, algorithm=kind, use_csr=use_csr
-            )
-            timing.repetitions.append(time.perf_counter() - started)
-
-        timing.rank_refinements = sum(
-            item.stats.rank_refinements for item in batch
-        )
-        if kind is AlgorithmKind.NAIVE:
-            baseline = batch
-            timing.speedup_vs_naive = 1.0
-            timing.validated = True
-        else:
-            if validate:
-                if baseline is not None:
-                    _validate_batch(workload, baseline, batch, kind.value)
-                    timing.validated = True
-                elif sample is not None:
-                    if sample_ranks is None:
-                        sample_ranks = _exact_sample_ranks(
-                            workload, search_graph, sample
+                if kind is AlgorithmKind.NAIVE and sample is not None:
+                    if base_pass:
+                        _time_sampled_naive(
+                            workload, search_graph, sample, timing,
+                            repetitions, warmup,
                         )
-                    _spot_validate_sampled(
-                        workload, batch, sample_ranks, kind.value
+                    else:
+                        # The sampled estimate is a per-candidate
+                        # extrapolation; re-timing it through the pool
+                        # would only measure IPC on 48 candidates.
+                        timing.skipped = (
+                            "sampled naive baseline is timed once, at the "
+                            "first workers value"
+                        )
+                    continue
+
+                if kind is AlgorithmKind.INDEXED and engine.index is None:
+                    _prepare_index(
+                        workload, engine, timing, num_hubs, index_cache, use_csr
                     )
-                    if reference is not None:
-                        _validate_batch(
-                            workload, reference, batch, kind.value,
-                            baseline_label=reference_label,
-                        )
-                    reference = batch
-                    reference_label = kind.value
-                    timing.validated = True
-            naive_timing = result.algorithms[AlgorithmKind.NAIVE.value]
-            naive_mean = (
-                naive_timing.estimated_full_seconds
-                if naive_timing.estimated_full_seconds is not None
-                else naive_timing.mean_seconds
-            )
-            if naive_mean and timing.mean_seconds:
-                timing.speedup_vs_naive = naive_mean / timing.mean_seconds
 
-        if check_backend and kind is AlgorithmKind.DYNAMIC:
-            result.backend_consistent = _check_backend_consistency(
-                workload, engine, batch, timed_on_csr=use_csr
-            )
+                run_kwargs = dict(use_csr=use_csr)
+                if num_workers > 1:
+                    # Pool startup (spawn can take seconds) happens here,
+                    # outside warmup and the timed repetitions.
+                    engine.prepare_parallel(num_workers, worker_context)
+                    run_kwargs.update(
+                        workers=num_workers, worker_context=worker_context
+                    )
+
+                for _ in range(warmup):
+                    engine.query_many(
+                        workload.queries, workload.k, algorithm=kind,
+                        **run_kwargs,
+                    )
+
+                batch: List[QueryResult] = []
+                for _ in range(repetitions):
+                    started = time.perf_counter()
+                    batch = engine.query_many(
+                        workload.queries, workload.k, algorithm=kind,
+                        **run_kwargs,
+                    )
+                    timing.repetitions.append(time.perf_counter() - started)
+
+                timing.rank_refinements = sum(
+                    item.stats.rank_refinements for item in batch
+                )
+                if num_workers == 1:
+                    serial_batches.setdefault(kind, batch)
+
+                if kind is AlgorithmKind.NAIVE and base_pass:
+                    baseline = batch
+                    timing.speedup_vs_naive = 1.0
+                    timing.validated = True
+                else:
+                    if validate:
+                        if baseline is not None:
+                            _validate_batch(workload, baseline, batch, key)
+                            timing.validated = True
+                        elif sample is not None:
+                            if sample_ranks is None:
+                                sample_ranks = _exact_sample_ranks(
+                                    workload, search_graph, sample
+                                )
+                            _spot_validate_sampled(
+                                workload, batch, sample_ranks, key
+                            )
+                            if reference is not None:
+                                _validate_batch(
+                                    workload, reference, batch, key,
+                                    baseline_label=reference_label,
+                                )
+                            reference = batch
+                            reference_label = key
+                            timing.validated = True
+                    naive_timing = result.algorithms.get(
+                        AlgorithmKind.NAIVE.value
+                    )
+                    naive_mean = None
+                    if naive_timing is not None:
+                        naive_mean = (
+                            naive_timing.estimated_full_seconds
+                            if naive_timing.estimated_full_seconds is not None
+                            else naive_timing.mean_seconds
+                        )
+                    if naive_mean and timing.mean_seconds:
+                        timing.speedup_vs_naive = naive_mean / timing.mean_seconds
+
+                if num_workers > 1:
+                    serial = serial_batches.get(kind)
+                    if serial is None:
+                        # Parallel-only run (e.g. ``--workers 2``): build
+                        # the sequential reference untimed.
+                        serial = engine.query_many(
+                            workload.queries, workload.k, algorithm=kind,
+                            use_csr=use_csr,
+                        )
+                        serial_batches[kind] = serial
+                    _check_parallel_consistency(
+                        workload, kind, serial, batch, key
+                    )
+                    if result.parallel_consistent is None:
+                        result.parallel_consistent = True
+                    serial_timing = result.algorithms.get(kind.value)
+                    if (
+                        serial_timing is not None
+                        and serial_timing.workers == 1
+                        and serial_timing.mean_seconds
+                        and timing.mean_seconds
+                    ):
+                        timing.speedup_vs_serial = (
+                            serial_timing.mean_seconds / timing.mean_seconds
+                        )
+
+                if (
+                    check_backend
+                    and kind is AlgorithmKind.DYNAMIC
+                    and base_pass
+                ):
+                    result.backend_consistent = _check_backend_consistency(
+                        workload, engine, batch, timed_on_csr=use_csr
+                    )
+    finally:
+        engine.close_pool()
 
     return result
 
@@ -484,6 +650,8 @@ def run_suite(
     validate: bool = True,
     check_backend: bool = True,
     index_cache: Optional[object] = None,
+    workers=1,
+    worker_context: Optional[str] = None,
     progress=None,
 ) -> List[WorkloadResult]:
     """Run every workload through :func:`run_workload`.
@@ -508,6 +676,8 @@ def run_suite(
                 validate=validate,
                 check_backend=check_backend,
                 index_cache=index_cache,
+                workers=workers,
+                worker_context=worker_context,
             )
         )
     return results

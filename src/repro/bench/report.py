@@ -38,8 +38,16 @@ workload metadata; their naive timing carries ``sampled_candidates`` and
 ``speedup_vs_naive`` is computed against), and ``validated`` there means
 the exact-rank spot checks plus pairwise algorithm agreement passed.  When
 the run used ``--index-cache``, the indexed timing records ``index_cache``
-as ``"hit"`` or ``"miss"``.  All additions are backwards-compatible
-optional fields, so the schema version stays 1.
+as ``"hit"`` or ``"miss"``.
+
+Runs with a ``--workers`` axis record, per algorithm row, the worker
+count that executed its timed batches (``workers``, 1 = in-process) and —
+for parallel rows, keyed ``name@wN`` — the direct process-scaling factor
+``speedup_vs_serial`` (same-run single-process batch time over this
+row's).  Workloads that ran a parallel pass additionally carry
+``parallel_consistent``: ``true`` iff every parallel batch was
+rank-identical to its sequential reference.  All additions are
+backwards-compatible optional fields, so the schema version stays 1.
 """
 
 from __future__ import annotations
@@ -105,8 +113,8 @@ def render_table(report: Dict[str, object]) -> str:
     """A compact per-workload summary table for the CLI."""
     lines = []
     header = (
-        f"{'workload':<20} {'algo':<8} {'mean/query':>10} "
-        f"{'speedup':>8} {'refine':>7} {'ok':>3}"
+        f"{'workload':<20} {'algo':<12} {'mean/query':>10} "
+        f"{'speedup':>8} {'vs-w1':>7} {'refine':>7} {'ok':>3}"
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -115,7 +123,7 @@ def render_table(report: Dict[str, object]) -> str:
         for name, timing in workload["algorithms"].items():
             if timing.get("skipped"):
                 lines.append(
-                    f"{workload['name']:<20} {name:<8} {'skipped':>10}"
+                    f"{workload['name']:<20} {name:<12} {'skipped':>10}"
                 )
                 continue
             label = name
@@ -123,11 +131,13 @@ def render_table(report: Dict[str, object]) -> str:
                 label = f"{name}*"
                 any_sampled = True
             speedup = timing.get("speedup_vs_naive")
+            serial = timing.get("speedup_vs_serial")
             validated = timing.get("validated")
             lines.append(
-                f"{workload['name']:<20} {label:<8} "
+                f"{workload['name']:<20} {label:<12} "
                 f"{_format_seconds(timing.get('per_query_seconds')):>10} "
                 f"{(f'{speedup:.1f}x' if speedup else '-'):>8} "
+                f"{(f'{serial:.2f}x' if serial else '-'):>7} "
                 f"{timing.get('rank_refinements', 0):>7} "
                 f"{('y' if validated else '-'):>3}"
             )

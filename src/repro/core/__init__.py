@@ -27,7 +27,7 @@ from repro.core.sds_static import static_reverse_k_ranks
 from repro.core.sds_dynamic import dynamic_reverse_k_ranks
 from repro.core.sds_indexed import indexed_reverse_k_ranks
 from repro.core.hubs import HubSelectionStrategy, select_hubs
-from repro.core.hub_index import HubIndex
+from repro.core.hub_index import HubIndex, HubIndexDelta
 from repro.core.reverse_topk import reverse_top_k, reverse_top_k_all_sizes
 from repro.core.topk import top_k_nodes, agreement_rate
 from repro.core.bichromatic import (
@@ -50,6 +50,7 @@ __all__ = [
     "HubSelectionStrategy",
     "select_hubs",
     "HubIndex",
+    "HubIndexDelta",
     "reverse_top_k",
     "reverse_top_k_all_sizes",
     "top_k_nodes",

@@ -56,6 +56,7 @@ def bichromatic_reverse_k_ranks(
     k: int,
     bounds: Optional[BoundSet] = None,
     backend=None,
+    masks=None,
 ) -> QueryResult:
     """Bichromatic reverse k-ranks with the SDS-tree framework.
 
@@ -69,6 +70,13 @@ def bichromatic_reverse_k_ranks(
     backend:
         Optional fresh :class:`~repro.graph.csr.CompactGraph` compilation of
         the partition's graph for the CSR fast path.
+    masks:
+        Optional pre-built ``(candidate_mask, counted_mask)`` bytearrays
+        over the compact backend's node order — the engine's per-version
+        cache of the partition predicates (see
+        :class:`~repro.core.framework.SDSTreeSearch`).  They must encode
+        this partition's :meth:`~BichromaticPartition.is_candidate` /
+        :meth:`~BichromaticPartition.is_counted` answers.
     """
     partition.validate_query_node(query)
     active = BoundSet.all() if bounds is None else bounds
@@ -81,5 +89,6 @@ def bichromatic_reverse_k_ranks(
         counted=partition.is_counted,
         algorithm_label=f"Bichromatic-{active.label()}",
         backend=backend,
+        masks=masks,
     )
     return search.run()

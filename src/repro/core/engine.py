@@ -53,7 +53,10 @@ from repro.errors import (
     IndexParameterError,
     InvalidKError,
     InvalidQueryNodeError,
+    ParallelExecutionError,
+    WorkerCrashError,
     check_positive_k,
+    is_positive_int,
 )
 from repro.graph.csr import CompactGraph
 from repro.graph.partition import BichromaticPartition
@@ -114,6 +117,19 @@ class ReverseKRanksEngine:
         self._index = index
         self._csr: Optional[CompactGraph] = None
         self._csr_version: Optional[int] = None
+        # Bichromatic candidate/counted masks over the compact node order,
+        # cached per graph version (building them is O(n) per query
+        # otherwise — see CompactSDSTreeSearch).
+        self._masks: Optional[tuple] = None
+        self._masks_version: Optional[int] = None
+        # The persistent repro.parallel worker pool (created lazily by
+        # query_many(workers=N)) and the key it was built for.
+        self._pool = None
+        self._pool_version: Optional[int] = None
+        self._pool_context: Optional[str] = None
+        self._pool_index = None
+        #: Aggregated QueryStats of the most recent parallel batch.
+        self.last_batch_stats = None
 
     # ------------------------------------------------------------------
     @property
@@ -231,6 +247,9 @@ class ReverseKRanksEngine:
         bounds: Optional[BoundSet] = None,
         use_csr: bool = True,
         cache_size: Optional[int] = None,
+        workers: int = 1,
+        shard_policy: str = "round_robin",
+        worker_context: Optional[str] = None,
     ) -> List[QueryResult]:
         """Answer a batch of reverse k-ranks queries, amortising setup work.
 
@@ -263,7 +282,31 @@ class ReverseKRanksEngine:
         cache_size:
             Capacity of the per-batch LRU result cache; ``None``/``0``
             disables caching.  Cache hits return the same
-            :class:`~repro.core.types.QueryResult` object.
+            :class:`~repro.core.types.QueryResult` object.  Sequential
+            execution only — in parallel mode, route repeated queries to
+            the worker that already learned them with
+            ``shard_policy="affinity"`` instead.
+        workers:
+            With ``workers > 1``, the batch is sharded across that many
+            persistent worker processes (see :mod:`repro.parallel`): each
+            worker holds a pickled copy of the CSR compilation (and a
+            snapshot of the hub index, when one is set), results come back
+            in input order, and everything indexed queries *learn* in the
+            workers is merged back into this engine's master index
+            (:meth:`~repro.core.hub_index.HubIndex.merge_delta`).  The
+            pool persists across batches and is invalidated by graph
+            mutations; see :meth:`prepare_parallel` / :meth:`close_pool`.
+            Requires ``use_csr=True``.  Single-query batches fall back to
+            sequential execution (nothing to shard).
+        shard_policy:
+            Parallel mode only: ``"round_robin"`` (default), ``"cost"``
+            (degree/hub-proximity-estimated balancing) or ``"affinity"``
+            (repeated queries pin to the same worker) — see
+            :class:`repro.parallel.ShardPolicy`.
+        worker_context:
+            Parallel mode only: multiprocessing start method (``"fork"``,
+            ``"spawn"``, ``"forkserver"``, or ``None`` for the platform
+            default).
 
         Returns
         -------
@@ -281,6 +324,21 @@ class ReverseKRanksEngine:
         if kind is AlgorithmKind.INDEXED:
             self._require_monochromatic_index()
             self._index.ensure_compatible(self._graph, k)
+
+        if not is_positive_int(workers):
+            raise ParallelExecutionError(
+                f"workers must be a positive integer, got {workers!r}"
+            )
+        if workers > 1:
+            if not use_csr:
+                raise ParallelExecutionError(
+                    "parallel execution ships the CSR compilation to the "
+                    "workers; use_csr=False and workers > 1 are incompatible"
+                )
+            if len(batch) > 1:
+                return self._query_many_parallel(
+                    batch, k, kind, bounds, workers, shard_policy, worker_context
+                )
 
         backend: Optional[CompactGraph] = (
             self.compact_graph() if use_csr else None
@@ -303,6 +361,117 @@ class ReverseKRanksEngine:
                     cache.popitem(last=False)
             results.append(result)
         return results
+
+    # ------------------------------------------------------------------
+    # Parallel execution (repro.parallel)
+    # ------------------------------------------------------------------
+    def prepare_parallel(
+        self,
+        workers: int,
+        worker_context: Optional[str] = None,
+    ):
+        """Start (or refresh) the worker pool outside any timed region.
+
+        :meth:`query_many` creates the pool lazily, which folds process
+        startup — spawn can take seconds — into the first batch.  Callers
+        that time batches (the benchmark harness) call this first.  If the
+        engine holds a hub index, its current state is snapshotted into
+        the workers.  Returns the pool.
+        """
+        return self._ensure_pool(workers, worker_context)
+
+    def close_pool(self) -> None:
+        """Shut down the worker pool, if one is running.  Idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_index = None
+            self._pool_version = None
+            self._pool_context = None
+
+    def __enter__(self) -> "ReverseKRanksEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb) -> None:
+        self.close_pool()
+
+    def _ensure_pool(self, workers: int, worker_context: Optional[str]):
+        """The cached worker pool, rebuilt when its key went stale.
+
+        The key is (worker count, start method, graph mutation version,
+        index identity): a mutated graph means the workers hold a wrong
+        compilation, and a replaced/new index means their snapshots no
+        longer descend from the engine's master.  A *warming* master
+        index does not invalidate the pool — worker snapshots merely lag,
+        which costs recomputation, never correctness (every recorded rank
+        is exact).
+        """
+        from repro.parallel import WorkerPool
+
+        version = getattr(self._graph, "version", None)
+        if self._pool is not None:
+            stale = (
+                self._pool.is_closed
+                or self._pool.num_workers != workers
+                or self._pool_version != version
+                or self._pool_context != worker_context
+                or self._pool_index is not self._index
+            )
+            if stale:
+                self.close_pool()
+        if self._pool is None:
+            index_state = (
+                self._index.export_state() if self._index is not None else None
+            )
+            facilities = (
+                self._partition.facilities if self._partition is not None else None
+            )
+            self._pool = WorkerPool(
+                self.compact_graph(),
+                workers=workers,
+                index_state=index_state,
+                facilities=facilities,
+                context=worker_context,
+            )
+            self._pool_version = version
+            self._pool_context = worker_context
+            self._pool_index = self._index
+        return self._pool
+
+    def _query_many_parallel(
+        self,
+        batch: List[NodeId],
+        k: int,
+        kind: AlgorithmKind,
+        bounds: Optional[BoundSet],
+        workers: int,
+        shard_policy: str,
+        worker_context: Optional[str],
+    ) -> List[QueryResult]:
+        from repro.parallel import ShardPlanner
+
+        pool = self._ensure_pool(workers, worker_context)
+        planner = ShardPlanner(pool.num_workers, policy=shard_policy)
+        plan = planner.plan(
+            batch,
+            graph=self.compact_graph(),
+            index=self._index if kind is AlgorithmKind.INDEXED else None,
+        )
+        try:
+            outcome = pool.run_batch(plan, k, kind, bounds=bounds)
+        except WorkerCrashError:
+            # The pool now contains a dead worker; drop it so a caller's
+            # retry gets a fresh pool instead of re-dispatching shards to
+            # the corpse forever.
+            self.close_pool()
+            raise
+        if kind is AlgorithmKind.INDEXED and self._index is not None:
+            # Deltas arrive in shard order (see merge_shard_outputs), so
+            # the last-writer-wins merge is deterministic run to run.
+            for delta in outcome.deltas:
+                self._index.merge_delta(delta)
+        self.last_batch_stats = outcome.stats
+        return outcome.results
 
     # ------------------------------------------------------------------
     # Validation and dispatch internals
@@ -368,6 +537,32 @@ class ReverseKRanksEngine:
             backend=backend,
         )
 
+    def _partition_masks(self, backend: Optional[CompactGraph]):
+        """Candidate/counted masks over the compact node order, or ``None``.
+
+        Evaluating the partition predicates over every node costs O(n)
+        per query on the CSR fast path; the engine pays it once per graph
+        version instead (keyed like the CSR compilation cache).  Returns
+        ``None`` when no compact view is in play (the generic loops
+        evaluate predicates lazily, only on visited nodes).
+        """
+        compact = backend
+        if compact is None and getattr(self._graph, "is_compact", False):
+            # Worker-process engines hold the compilation *as* their graph.
+            compact = self._graph
+        if compact is None:
+            return None
+        version = getattr(compact, "source_version", None)
+        if self._masks is None or self._masks_version != version:
+            partition = self._partition
+            nodes = compact.node_ids
+            self._masks = (
+                bytearray(1 if partition.is_candidate(node) else 0 for node in nodes),
+                bytearray(1 if partition.is_counted(node) else 0 for node in nodes),
+            )
+            self._masks_version = version
+        return self._masks
+
     def _bichromatic_query(
         self,
         query: NodeId,
@@ -382,12 +577,14 @@ class ReverseKRanksEngine:
             return bichromatic_naive_reverse_k_ranks(
                 self._partition, query, k, backend=backend
             )
+        masks = self._partition_masks(backend)
         if kind is AlgorithmKind.STATIC:
             return bichromatic_reverse_k_ranks(
-                self._partition, query, k, bounds=BoundSet.none(), backend=backend
+                self._partition, query, k, bounds=BoundSet.none(),
+                backend=backend, masks=masks,
             )
         return bichromatic_reverse_k_ranks(
-            self._partition, query, k, bounds=bounds, backend=backend
+            self._partition, query, k, bounds=bounds, backend=backend, masks=masks
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -102,6 +102,14 @@ class SDSTreeSearch:
         traversal runs on the CSR fast path; results are identical either
         way.  The compilation must be fresh — a version mismatch with
         ``graph`` is rejected.
+    masks:
+        Optional pre-built ``(candidate_mask, counted_mask)`` bytearrays
+        over the compact backend's node order (either element may be
+        ``None``).  Engines answering many queries against one compilation
+        cache these per graph version so the CSR fast path does not
+        re-evaluate the predicates over every node on every query; the
+        masks must encode exactly the ``candidate`` / ``counted``
+        predicates.  Ignored by the generic (dict-backed) loops.
     """
 
     def __init__(
@@ -115,6 +123,7 @@ class SDSTreeSearch:
         counted: Optional[Predicate] = None,
         algorithm_label: str = "",
         backend=None,
+        masks=None,
     ) -> None:
         check_positive_k(k)
         if not graph.has_node(query):
@@ -131,6 +140,7 @@ class SDSTreeSearch:
         self._index = index
         self._candidate = candidate
         self._counted = counted
+        self._masks = masks if masks is not None else (None, None)
         self._label = algorithm_label or self._bounds.label()
 
         # The count bound is only valid on undirected graphs (paper, footnote
@@ -180,6 +190,8 @@ class SDSTreeSearch:
                 count_active=self._count_bound_active,
                 candidate=self._candidate,
                 counted=self._counted,
+                candidate_mask=self._masks[0],
+                counted_mask=self._masks[1],
             ).traverse()
         else:
             self._traverse()

@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import pickle
 import random
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
@@ -71,7 +72,38 @@ def _graph_digest(graph) -> str:
 
 NodeId = Hashable
 
-__all__ = ["HubIndex"]
+__all__ = ["HubIndex", "HubIndexDelta"]
+
+
+@dataclass
+class HubIndexDelta:
+    """A picklable record of ranks learned by indexed queries (Algorithm 4).
+
+    Worker processes in :mod:`repro.parallel` answer indexed queries on a
+    *snapshot* of the engine's master index; everything their refinements
+    learn is captured in one of these and merged back into the master via
+    :meth:`HubIndex.merge_delta` when the batch completes, so the master
+    keeps compounding knowledge exactly as a sequentially-warmed index
+    would.
+
+    ``ranks`` maps ``(source, target)`` to the exact ``Rank(source,
+    target)``; because recorded ranks are exact, concurrent learners can
+    only ever disagree on *which* entries they discovered, never on a
+    value — last-writer-wins merging is therefore safe.  ``explorations``
+    accumulates per-source settled-node counts.  ``graph_version`` pins
+    the delta to the graph mutation version its snapshot was taken at;
+    merging into an index built for any other version is rejected.
+    """
+
+    graph_version: Optional[int] = None
+    ranks: Dict[Tuple[NodeId, NodeId], int] = field(default_factory=dict)
+    explorations: Dict[NodeId, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.ranks or self.explorations)
+
+    def __len__(self) -> int:
+        return len(self.ranks)
 
 
 class HubIndex:
@@ -100,6 +132,7 @@ class HubIndex:
         "_reverse",
         "_check",
         "_explored",
+        "_learning_log",
     )
 
     def __init__(self, graph, capacity: int, hubs=()) -> None:
@@ -122,6 +155,8 @@ class HubIndex:
         self._check: Dict[NodeId, int] = {}
         #: source -> total nodes settled across its explorations
         self._explored: Dict[NodeId, int] = {}
+        #: live :class:`HubIndexDelta` capturing record_* calls, or ``None``
+        self._learning_log: Optional[HubIndexDelta] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -312,6 +347,116 @@ class HubIndex:
         return index
 
     # ------------------------------------------------------------------
+    # Snapshots, learning deltas and merging (the repro.parallel surface)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """A picklable snapshot of everything the index knows (graph excluded).
+
+        The worker pool ships one of these to each worker at startup;
+        :meth:`from_state` rebinds it to the worker's own
+        :class:`~repro.graph.csr.CompactGraph` copy.  Dictionaries are
+        copied, so the snapshot is immune to the master index continuing
+        to learn after the export.
+
+        Raises
+        ------
+        IndexParameterError
+            If the index is stale for its graph — a snapshot of wrong
+            ranks must never reach a worker.
+        """
+        self.ensure_fresh()
+        return {
+            "graph_version": self._graph_version,
+            "capacity": self._capacity,
+            "hubs": list(self._hubs),
+            "known": {source: dict(targets) for source, targets in self._known.items()},
+            "reverse": {target: dict(sources) for target, sources in self._reverse.items()},
+            "check": dict(self._check),
+            "explored": dict(self._explored),
+        }
+
+    @classmethod
+    def from_state(cls, graph, state: Dict[str, object]) -> "HubIndex":
+        """Rebind an :meth:`export_state` snapshot to ``graph``.
+
+        ``graph`` may be the original :class:`~repro.graph.Graph` or a
+        :class:`~repro.graph.csr.CompactGraph` compilation of it (the
+        worker-process case) — node identifiers, which every dictionary is
+        keyed by, are identical across the two backends.  The snapshot's
+        ``graph_version`` is preserved verbatim, so freshness checks keep
+        comparing against the *master* graph's version (a compilation
+        reports its compile-time version via
+        :attr:`~repro.graph.csr.CompactGraph.version`).
+        """
+        index = cls(graph, int(state["capacity"]), state["hubs"])
+        index._graph_version = state["graph_version"]
+        index._known = {source: dict(targets) for source, targets in state["known"].items()}
+        index._reverse = {target: dict(sources) for target, sources in state["reverse"].items()}
+        index._check = dict(state["check"])
+        index._explored = dict(state["explored"])
+        return index
+
+    def start_learning_log(self) -> None:
+        """Begin capturing subsequent :meth:`record_rank` /
+        :meth:`record_exploration` calls into a fresh delta.
+
+        Starting a new log discards any log already in progress.
+        """
+        self._learning_log = HubIndexDelta(graph_version=self._graph_version)
+
+    def pop_learning_log(self) -> HubIndexDelta:
+        """Stop capturing and return the accumulated delta.
+
+        Returns an empty delta when no log was started — callers can
+        always merge the result unconditionally.
+        """
+        log = self._learning_log
+        self._learning_log = None
+        if log is None:
+            return HubIndexDelta(graph_version=self._graph_version)
+        return log
+
+    def merge_delta(self, delta: HubIndexDelta) -> int:
+        """Merge ranks learned elsewhere into this index; returns entries merged.
+
+        Entries are applied through :meth:`record_rank` /
+        :meth:`record_exploration`, so the Reverse Rank and Check
+        Dictionaries stay consistent with the merged knowledge.  On keys
+        recorded by both sides the delta wins (last-writer-wins) — safe
+        because recorded ranks are exact, hence any two writers of the
+        same key wrote the same value unless one of them is stale, which
+        the version check rejects.
+
+        Raises
+        ------
+        IndexParameterError
+            When this index is stale for its graph, when ``delta`` is not
+            a :class:`HubIndexDelta`, or when the delta was captured at a
+            different graph mutation version than this index was built
+            for (its entries would describe a different adjacency).
+        """
+        if not isinstance(delta, HubIndexDelta):
+            raise IndexParameterError(
+                f"merge_delta expects a HubIndexDelta, got {type(delta).__name__}"
+            )
+        self.ensure_fresh()
+        if (
+            delta.graph_version is not None
+            and self._graph_version is not None
+            and delta.graph_version != self._graph_version
+        ):
+            raise IndexParameterError(
+                "hub-index delta is stale: captured at graph version "
+                f"{delta.graph_version}, index built for {self._graph_version}; "
+                "discard it and re-learn"
+            )
+        for (source, target), rank in delta.ranks.items():
+            self.record_rank(source, target, rank)
+        for node, settled in delta.explorations.items():
+            self.record_exploration(node, settled)
+        return len(delta.ranks)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
@@ -337,6 +482,14 @@ class HubIndex:
     def explored_count(self, node: NodeId) -> int:
         """Total nodes settled by explorations from ``node``."""
         return self._explored.get(node, 0)
+
+    def reverse_rank_count(self, target: NodeId) -> int:
+        """How many Reverse-Rank-Dictionary entries seed queries for ``target``.
+
+        Cheaper than ``len(known_reverse_ranks(target))`` (no sort); used
+        by the cost-estimating shard planner as its hub-proximity signal.
+        """
+        return len(self._reverse.get(target, ()))
 
     # ------------------------------------------------------------------
     # Query-time surface (called by the framework)
@@ -408,10 +561,16 @@ class HubIndex:
         current = self._check.get(source)
         if current is None or rank > current:
             self._check[source] = rank
+        log = self._learning_log
+        if log is not None:
+            log.ranks[(source, target)] = rank
 
     def record_exploration(self, node: NodeId, settled: int) -> None:
         """Account one exploration from ``node`` that settled ``settled`` nodes."""
         self._explored[node] = self._explored.get(node, 0) + settled
+        log = self._learning_log
+        if log is not None:
+            log.explorations[node] = log.explorations.get(node, 0) + settled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -86,8 +86,18 @@ def check_positive_k(k: object) -> None:
     engine facade and the low-level algorithm entry points so the layers
     cannot drift apart on what a legal ``k`` is.
     """
-    if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+    if not is_positive_int(k):
         raise InvalidKError(k)
+
+
+def is_positive_int(value: object) -> bool:
+    """Whether ``value`` is a positive ``int`` (``bool`` excluded).
+
+    The shared predicate behind every "must be a positive integer"
+    validation — ``k`` values, worker counts, shard counts — so the
+    definition cannot drift between layers.
+    """
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 1
 
 
 class IndexError_(ReproError):
@@ -119,6 +129,38 @@ class BichromaticError(QueryError, ValueError):
 
 class CrossValidationError(ReproError, AssertionError):
     """Raised when an optimised algorithm disagrees with the naive baseline."""
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """Raised when sharded multiprocess query execution fails.
+
+    Covers pool misuse (bad ``workers`` values, dispatch after shutdown,
+    incompatible backends) and failures *reported* by a worker process
+    (an exception escaped a shard; the original traceback is embedded in
+    the message).  A worker that dies without reporting anything raises
+    the :class:`WorkerCrashError` subclass instead.
+    """
+
+
+class WorkerCrashError(ParallelExecutionError):
+    """Raised when a worker process died without reporting a result.
+
+    The pool distinguishes a worker that *raised* (surfaced as
+    :class:`ParallelExecutionError` with the remote traceback) from one
+    that vanished — killed by a signal, the OOM reaper, or an interpreter
+    abort.  ``worker_id`` and ``exitcode`` identify the casualty.
+    """
+
+    def __init__(self, worker_id: int, exitcode: object, detail: str = "") -> None:
+        message = (
+            f"worker {worker_id} crashed (exitcode {exitcode!r}) "
+            "before returning its shard"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.exitcode = exitcode
 
 
 class DatasetError(ReproError):

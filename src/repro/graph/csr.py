@@ -27,6 +27,7 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
 import weakref
 from array import array
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -112,6 +113,7 @@ class CompactGraph:
         "_source_version",
         "_source_ref",
         "_transposed",
+        "_digest",
     )
 
     def __init__(
@@ -158,6 +160,7 @@ class CompactGraph:
             except TypeError:  # source type without weakref support
                 self._source_ref = None
         self._transposed = transposed
+        self._digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -243,10 +246,48 @@ class CompactGraph:
         return self._source_version
 
     @property
+    def version(self) -> Optional[int]:
+        """Alias of :attr:`source_version`.
+
+        A frozen compilation's "mutation version" is, by construction, its
+        source graph's version at compile time — exposing it under the
+        :class:`~repro.graph.graph.Graph` attribute name lets consumers
+        that snapshot ``graph.version`` (notably
+        :class:`~repro.core.hub_index.HubIndex`) treat a
+        :class:`CompactGraph` as a first-class, always-fresh graph — the
+        basis of the worker-process engines in :mod:`repro.parallel`.
+        """
+        return self._source_version
+
+    @property
     def source_graph(self):
         """The graph this view was compiled from, or ``None`` if collected."""
         reference = self._source_ref
         return reference() if reference is not None else None
+
+    def content_digest(self) -> str:
+        """SHA-256 digest of directedness, node identifiers and adjacency.
+
+        Computed lazily from the raw CSR buffers (``array.tobytes`` — the
+        exact IEEE doubles, not a float rendering) and cached; two
+        compilations digest equal iff they traverse identically.  The
+        digest survives :mod:`pickle` round trips (see :meth:`__reduce__`),
+        so a worker process can cheaply verify it received the same graph
+        the coordinator compiled.
+        """
+        if self._digest is None:
+            digest = hashlib.sha256()
+            digest.update(
+                f"{int(self._directed)}|{len(self._nodes)}|{self._num_edges}".encode()
+            )
+            for node in self._nodes:
+                digest.update(repr(node).encode())
+                digest.update(b";")
+            digest.update(self._out_offsets.tobytes())
+            digest.update(self._out_targets.tobytes())
+            digest.update(self._out_weights.tobytes())
+            self._digest = digest.hexdigest()
+        return self._digest
 
     @property
     def is_transposed(self) -> bool:
@@ -406,6 +447,45 @@ class CompactGraph:
         return self.out_degree(node)
 
     # ------------------------------------------------------------------
+    # Pickling (the repro.parallel worker processes ship compilations)
+    # ------------------------------------------------------------------
+    def __reduce__(self):
+        """Pickle support: ship the frozen buffers, not the source graph.
+
+        Explicit because the default slot pickling would choke on the
+        source-graph weakref.  What round-trips: directedness, node order,
+        all six CSR buffers (shared out/in buffers of undirected graphs
+        stay *shared* after loading — pickle memoises object identity
+        within one payload), edge count, name, the compile-time
+        :attr:`source_version`, the :attr:`is_transposed` marker of
+        :meth:`reverse_view`\\ s, and the :meth:`content_digest` (forced
+        here so receivers can verify integrity without recomputing).
+        What does not: the source-graph weakref — an unpickled compilation
+        reports ``source_graph`` as ``None``, and freshness checks fall
+        back to node-count and version comparisons.  The node-index map is
+        rebuilt on load rather than shipped (it is derivable and typically
+        the payload's largest dict).
+        """
+        return (
+            _rebuild_compact_graph,
+            (
+                self._directed,
+                self._nodes,
+                self._out_offsets,
+                self._out_targets,
+                self._out_weights,
+                self._in_offsets,
+                self._in_sources,
+                self._in_weights,
+                self._num_edges,
+                self.name,
+                self._source_version,
+                self._transposed,
+                self.content_digest(),
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # Conversion
     # ------------------------------------------------------------------
     def reverse_view(self) -> "CompactGraph":
@@ -443,3 +523,39 @@ class CompactGraph:
         graph.add_nodes(self._nodes)
         graph.add_edges(self.edges())
         return graph
+
+
+def _rebuild_compact_graph(
+    directed,
+    nodes,
+    out_offsets,
+    out_targets,
+    out_weights,
+    in_offsets,
+    in_sources,
+    in_weights,
+    num_edges,
+    name,
+    source_version,
+    transposed,
+    digest,
+):
+    """Unpickle target of :meth:`CompactGraph.__reduce__` (module-level so
+    :mod:`pickle` can address it by reference)."""
+    graph = CompactGraph(
+        directed=directed,
+        nodes=nodes,
+        out_offsets=out_offsets,
+        out_targets=out_targets,
+        out_weights=out_weights,
+        in_offsets=in_offsets,
+        in_sources=in_sources,
+        in_weights=in_weights,
+        num_edges=num_edges,
+        name=name,
+        source_version=source_version,
+        source_graph=None,
+        transposed=transposed,
+    )
+    graph._digest = digest
+    return graph

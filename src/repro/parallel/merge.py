@@ -1,0 +1,92 @@
+"""Deterministic reassembly of sharded batch results.
+
+Workers finish in nondeterministic order; this module makes the batch
+outcome independent of that order.  Results are slotted back by the batch
+positions their shard carried, the per-query
+:class:`~repro.core.types.QueryStats` are aggregated into one batch-level
+view, and the workers' hub-index learning deltas are returned sorted by
+shard index — so a last-writer-wins merge into the master index applies
+them in the same order every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.types import QueryResult, QueryStats
+from repro.errors import ParallelExecutionError
+
+__all__ = ["ShardOutput", "ParallelBatchResult", "merge_shard_outputs"]
+
+
+@dataclass(frozen=True)
+class ShardOutput:
+    """What one worker returned for one shard of a batch."""
+
+    shard_index: int
+    positions: Tuple[int, ...]
+    results: Sequence[QueryResult]
+    delta: Optional[object] = None  # a HubIndexDelta when learning was logged
+
+
+@dataclass
+class ParallelBatchResult:
+    """A merged parallel batch: ordered results plus batch-level aggregates."""
+
+    #: One result per query, in the original batch order.
+    results: List[QueryResult]
+    #: All per-query counters accumulated into one batch-level QueryStats.
+    stats: QueryStats
+    #: Learning deltas in shard order (empty unless delta collection was on).
+    deltas: List[object] = field(default_factory=list)
+    #: How many shards carried work.
+    shards: int = 0
+
+
+def merge_shard_outputs(
+    outputs: Sequence[ShardOutput], batch_size: int
+) -> ParallelBatchResult:
+    """Merge shard outputs (any arrival order) into one ordered batch result.
+
+    Raises
+    ------
+    ParallelExecutionError
+        When the shard outputs do not cover each of the ``batch_size``
+        positions exactly once, or a shard's positions and results
+        disagree in length — either means results would be misattributed
+        to queries, which must never pass silently.
+    """
+    slots: List[Optional[QueryResult]] = [None] * batch_size
+    filled = 0
+    stats = QueryStats()
+    ordered = sorted(outputs, key=lambda output: output.shard_index)
+    for output in ordered:
+        if len(output.positions) != len(output.results):
+            raise ParallelExecutionError(
+                f"shard {output.shard_index} returned {len(output.results)} "
+                f"results for {len(output.positions)} positions"
+            )
+        for position, result in zip(output.positions, output.results):
+            if not 0 <= position < batch_size:
+                raise ParallelExecutionError(
+                    f"shard {output.shard_index} returned out-of-range batch "
+                    f"position {position} (batch size {batch_size})"
+                )
+            if slots[position] is not None:
+                raise ParallelExecutionError(
+                    f"batch position {position} was returned by two shards"
+                )
+            slots[position] = result
+            filled += 1
+            stats.merge(result.stats)
+    if filled != batch_size:
+        missing = [position for position, slot in enumerate(slots) if slot is None]
+        raise ParallelExecutionError(
+            f"shard outputs left {len(missing)} batch positions unanswered "
+            f"(first missing: {missing[:5]})"
+        )
+    deltas = [output.delta for output in ordered if output.delta is not None]
+    return ParallelBatchResult(
+        results=slots, stats=stats, deltas=deltas, shards=len(ordered)
+    )

@@ -1,0 +1,380 @@
+"""The persistent multiprocess worker pool (parent side).
+
+A :class:`WorkerPool` owns ``N`` long-lived worker processes, each holding
+a private copy of one :class:`~repro.graph.csr.CompactGraph` compilation
+(plus, optionally, a bichromatic facility set and a
+:meth:`~repro.core.hub_index.HubIndex.export_state` snapshot), shipped
+pickled exactly once at startup.  Batches are then dispatched shard-wise
+— the payload per batch is just the query identifiers — and reassembled
+deterministically by :mod:`repro.parallel.merge`.
+
+Lifecycle guarantees
+--------------------
+* **Start-method safety** — the pool works under ``fork``, ``spawn`` and
+  ``forkserver`` (pass ``context=``; ``None`` uses the platform default).
+  The worker entry point lives in the importable
+  :mod:`repro.parallel.worker` module, and the pool temporarily extends
+  ``PYTHONPATH`` with :mod:`repro`'s source root around process creation
+  so spawned children can import the package even when only the parent's
+  ``sys.path`` knew about it (the pytest case).
+* **Startup barrier** — the constructor blocks until every worker reports
+  ``ready``; import errors and corrupted payloads surface immediately as
+  typed errors instead of hanging the first batch.
+* **Crash surfacing** — a worker that raises ships its remote traceback
+  back and the batch fails with
+  :class:`~repro.errors.ParallelExecutionError`; a worker that *dies*
+  (signal, OOM kill, interpreter abort) is detected by liveness polling
+  and surfaces as :class:`~repro.errors.WorkerCrashError` with its exit
+  code.
+* **Graceful shutdown** — :meth:`close` sends each worker the shutdown
+  sentinel, joins with a timeout, and only then escalates to
+  ``terminate``.  The pool is a context manager; ``close`` is idempotent.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import multiprocessing
+import os
+import queue as queue_module
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import AlgorithmKind
+from repro.errors import ParallelExecutionError, WorkerCrashError, is_positive_int
+from repro.parallel.merge import ParallelBatchResult, ShardOutput, merge_shard_outputs
+from repro.parallel.planner import ShardPlan
+from repro.parallel.worker import build_init_payload, worker_main
+
+__all__ = ["WorkerPool"]
+
+#: Seconds between liveness polls while waiting on worker messages.
+_POLL_SECONDS = 0.1
+
+
+@contextlib.contextmanager
+def _child_importable_pythonpath():
+    """Ensure spawned children can ``import repro`` (restores env after).
+
+    ``spawn``/``forkserver`` children start a fresh interpreter that only
+    sees ``PYTHONPATH`` — not the parent's ``sys.path`` manipulations
+    (pytest's ``pythonpath = ["src"]``, editable installs resolved at
+    runtime, ...).  Prepending the package's source root around
+    ``Process.start()`` closes that gap; the mutation is reverted before
+    control returns, so nothing else observes it.
+    """
+    import repro
+
+    source_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH")
+    parts = existing.split(os.pathsep) if existing else []
+    if source_root in parts:
+        yield
+        return
+    os.environ["PYTHONPATH"] = os.pathsep.join([source_root] + parts)
+    try:
+        yield
+    finally:
+        if existing is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = existing
+
+
+class WorkerPool:
+    """``N`` persistent worker processes around one graph compilation.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.csr.CompactGraph` compilation; each worker
+        receives its own pickled copy at startup.
+    workers:
+        Number of worker processes (>= 1).
+    index_state:
+        Optional :meth:`~repro.core.hub_index.HubIndex.export_state`
+        snapshot; workers rebuild a private index from it and report
+        their learning back per batch.
+    facilities:
+        Optional bichromatic facility (V2) node set; workers rebuild the
+        partition from it.
+    context:
+        Start method: ``"fork"``, ``"spawn"``, ``"forkserver"`` or
+        ``None`` for the platform default.
+    start_timeout:
+        Seconds to wait for all workers to report ready.
+    """
+
+    def __init__(
+        self,
+        graph,
+        workers: int,
+        index_state: Optional[Dict[str, object]] = None,
+        facilities=None,
+        context: Optional[str] = None,
+        start_timeout: float = 60.0,
+    ) -> None:
+        if not is_positive_int(workers):
+            raise ParallelExecutionError(
+                f"workers must be a positive integer, got {workers!r}"
+            )
+        if not getattr(graph, "is_compact", False):
+            raise ParallelExecutionError(
+                "WorkerPool requires a CompactGraph compilation (its frozen "
+                "array buffers are what make shipping the graph cheap); "
+                "compile with CompactGraph.from_graph() first"
+            )
+        try:
+            ctx = multiprocessing.get_context(context)
+        except ValueError:
+            raise ParallelExecutionError(
+                f"unknown multiprocessing start method {context!r}; available: "
+                f"{multiprocessing.get_all_start_methods()}"
+            ) from None
+
+        self._closed = False
+        self._num_workers = workers
+        self._start_method = ctx.get_start_method()
+        self._has_index = index_state is not None
+        self._job_ids = itertools.count()
+        init_bytes = build_init_payload(
+            graph, index_state=index_state, facilities=facilities
+        )
+        self._result_queue = ctx.Queue()
+        self._task_queues = [ctx.Queue() for _ in range(workers)]
+        self._processes: List[multiprocessing.Process] = []
+        with _child_importable_pythonpath():
+            for worker_id in range(workers):
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(
+                        worker_id,
+                        init_bytes,
+                        self._task_queues[worker_id],
+                        self._result_queue,
+                    ),
+                    name=f"repro-worker-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                self._processes.append(process)
+        try:
+            self._await_ready(start_timeout)
+        except BaseException:
+            self.close(timeout=2.0)
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """Number of worker processes."""
+        return self._num_workers
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method the workers were created with."""
+        return self._start_method
+
+    @property
+    def has_index(self) -> bool:
+        """Whether workers carry a hub-index snapshot."""
+        return self._has_index
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether the pool has been shut down."""
+        return self._closed
+
+    @property
+    def worker_pids(self) -> List[Optional[int]]:
+        """The workers' process ids (``None`` before start, after close)."""
+        return [process.pid for process in self._processes]
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "closed" if self._closed else "open"
+        return (
+            f"<WorkerPool {state} workers={self._num_workers} "
+            f"start_method={self._start_method!r} index={self._has_index}>"
+        )
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        plan: ShardPlan,
+        k: int,
+        algorithm,
+        bounds=None,
+        collect_deltas: Optional[bool] = None,
+    ) -> ParallelBatchResult:
+        """Execute one planned batch across the workers.
+
+        Shard ``i`` of the plan runs on worker ``i mod num_workers`` (the
+        identity mapping when the plan was built for this pool's worker
+        count, which keeps the affinity policy's pinning honest).
+
+        ``collect_deltas`` defaults to "whenever the workers hold an
+        index and the algorithm is indexed" — exactly when there is
+        learning to harvest.
+
+        Raises
+        ------
+        ParallelExecutionError
+            When the pool is closed, or a worker reported an exception
+            (the remote traceback is embedded in the message).
+        WorkerCrashError
+            When a worker process died without reporting anything.
+        """
+        if self._closed:
+            raise ParallelExecutionError(
+                "cannot run a batch on a closed WorkerPool"
+            )
+        kind = AlgorithmKind(algorithm)
+        if collect_deltas is None:
+            collect_deltas = self._has_index and kind is AlgorithmKind.INDEXED
+        job_id = next(self._job_ids)
+        shards = plan.non_empty()
+        for shard in shards:
+            self._task_queues[shard.index % self._num_workers].put(
+                (
+                    job_id,
+                    shard.positions,
+                    shard.queries,
+                    k,
+                    kind.value,
+                    bounds,
+                    bool(collect_deltas),
+                )
+            )
+        outputs: List[ShardOutput] = []
+        pending = len(shards)
+        arrival: Dict[int, int] = {}
+        while pending:
+            message_kind, worker_id, message_job, payload = self._receive()
+            if message_job != job_id:
+                # A leftover from a batch that failed after this worker had
+                # already finished its shard; drop it.
+                continue
+            if message_kind == "error":
+                raise ParallelExecutionError(
+                    f"worker {worker_id} failed while evaluating its shard:\n"
+                    f"{payload}"
+                )
+            positions, results, delta = payload
+            arrival[worker_id] = arrival.get(worker_id, 0) + 1
+            outputs.append(
+                ShardOutput(
+                    # Recover the shard index deterministically: workers
+                    # process their queue in FIFO order, and shard s went to
+                    # worker s % N, so the j-th arrival from worker w is the
+                    # j-th shard (in index order) assigned to w.
+                    shard_index=self._nth_shard_of_worker(
+                        shards, worker_id, arrival[worker_id]
+                    ),
+                    positions=positions,
+                    results=results,
+                    delta=delta,
+                )
+            )
+            pending -= 1
+        return merge_shard_outputs(outputs, batch_size=plan.num_queries)
+
+    def _nth_shard_of_worker(self, shards, worker_id: int, nth: int) -> int:
+        """Index of the ``nth`` (1-based) shard dispatched to ``worker_id``."""
+        count = 0
+        for shard_index in sorted(shard.index for shard in shards):
+            if shard_index % self._num_workers == worker_id:
+                count += 1
+                if count == nth:
+                    return shard_index
+        raise ParallelExecutionError(  # pragma: no cover - protocol violation
+            f"worker {worker_id} returned more shards than it was assigned"
+        )
+
+    def _receive(self):
+        """Next worker message, polling liveness so crashes cannot hang us."""
+        while True:
+            try:
+                return self._result_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                for worker_id, process in enumerate(self._processes):
+                    if not process.is_alive():
+                        # Give a crashed worker's final message (flushed by
+                        # the queue feeder before death) one last chance.
+                        try:
+                            return self._result_queue.get(timeout=_POLL_SECONDS)
+                        except queue_module.Empty:
+                            raise WorkerCrashError(
+                                worker_id, process.exitcode
+                            ) from None
+
+    def _await_ready(self, timeout: float) -> None:
+        deadline = timeout / _POLL_SECONDS
+        ready = 0
+        polls = 0.0
+        while ready < self._num_workers:
+            try:
+                message_kind, worker_id, _, payload = self._result_queue.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                polls += 1
+                if polls > deadline:
+                    hint = ""
+                    if self._start_method != "fork":
+                        hint = (
+                            "; under the spawn/forkserver start methods the "
+                            "launching script must be import-safe — guard "
+                            "pool creation with `if __name__ == '__main__':` "
+                            "or children re-execute the script instead of "
+                            "starting"
+                        )
+                    raise ParallelExecutionError(
+                        f"worker pool startup timed out after {timeout:.0f}s "
+                        f"({ready}/{self._num_workers} workers ready){hint}"
+                    ) from None
+                for worker_id, process in enumerate(self._processes):
+                    if not process.is_alive():
+                        raise WorkerCrashError(
+                            worker_id, process.exitcode, detail="during startup"
+                        ) from None
+                continue
+            if message_kind == "error":
+                raise ParallelExecutionError(
+                    f"worker {worker_id} failed to start:\n{payload}"
+                )
+            ready += 1
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Shut the workers down; escalates to ``terminate`` on stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except (OSError, ValueError):  # queue already broken
+                pass
+        for process in self._processes:
+            process.join(timeout=timeout)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        for task_queue in self._task_queues:
+            task_queue.close()
+            task_queue.cancel_join_thread()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close(timeout=0.1)
+        except Exception:
+            pass

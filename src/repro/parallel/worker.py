@@ -1,0 +1,151 @@
+"""The worker-process side of the pool (spawn-safe by construction).
+
+Everything in this module is importable at top level: under the ``spawn``
+start method the child pickles the entry point *by reference* and
+re-imports this module from scratch, so nothing here may depend on state
+that only exists in the parent (closures, lambdas, module-level
+mutations).
+
+Startup contract
+----------------
+Each worker receives one :func:`pickle.dumps`-ed init payload — built by
+:func:`build_init_payload` in the parent — containing the coordinator's
+:class:`~repro.graph.csr.CompactGraph` compilation, the optional
+bichromatic facility set, and an optional
+:meth:`~repro.core.hub_index.HubIndex.export_state` snapshot.  Pickling is
+explicit (bytes, not objects) so the graph and index are *copies* under
+``fork`` too: a worker warming its local index can never mutate the
+coordinator's.
+
+The worker rebuilds a full :class:`~repro.core.engine.ReverseKRanksEngine`
+around the compilation itself (a :class:`CompactGraph` satisfies the whole
+read-only graph protocol, and every algorithm's hot loop recognises its
+``is_compact`` marker), verifies the graph's content digest against the
+digest recorded at pool construction, and then serves shard tasks until it
+reads the ``None`` shutdown sentinel.
+
+Message protocol (all tuples, queue-pickled)
+--------------------------------------------
+* parent -> worker: ``(job_id, positions, queries, k, algorithm_value,
+  bounds, collect_delta)`` or ``None`` to shut down.
+* worker -> parent: ``(kind, worker_id, job_id, payload)`` where ``kind``
+  is ``"ready"`` (startup complete), ``"done"`` (payload is
+  ``(positions, results, delta)``) or ``"error"`` (payload is a
+  formatted remote traceback string).
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from typing import Dict, Optional
+
+__all__ = ["build_init_payload", "worker_main"]
+
+
+def build_init_payload(
+    graph,
+    index_state: Optional[Dict[str, object]] = None,
+    facilities=None,
+) -> bytes:
+    """Serialise the per-worker startup state (parent side).
+
+    ``graph`` must be a :class:`~repro.graph.csr.CompactGraph`;
+    ``facilities`` the bichromatic V2 node set (or ``None``);
+    ``index_state`` an :meth:`~repro.core.hub_index.HubIndex.export_state`
+    snapshot (or ``None``).
+    """
+    payload = {
+        "graph": graph,
+        "digest": graph.content_digest(),
+        "facilities": None if facilities is None else frozenset(facilities),
+        "index_state": index_state,
+    }
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class _WorkerState:
+    """A worker's private engine, rebuilt from the init payload."""
+
+    def __init__(self, init: Dict[str, object]) -> None:
+        # Imported here, not at module top: the engine layer imports
+        # repro.parallel lazily and this module is also imported by the
+        # parent-side pool — keeping the heavyweight imports inside the
+        # constructor breaks any residual cycle risk and speeds up spawn's
+        # re-import of the module itself.
+        from repro.core.engine import ReverseKRanksEngine
+        from repro.core.hub_index import HubIndex
+        from repro.errors import ParallelExecutionError
+        from repro.graph.partition import BichromaticPartition
+
+        graph = init["graph"]
+        digest = graph.content_digest()
+        if digest != init["digest"]:
+            raise ParallelExecutionError(
+                "worker received a corrupted graph payload: content digest "
+                f"{digest} != expected {init['digest']}"
+            )
+        facilities = init["facilities"]
+        partition = (
+            BichromaticPartition(graph, facilities)
+            if facilities is not None
+            else None
+        )
+        index_state = init["index_state"]
+        index = (
+            HubIndex.from_state(graph, index_state)
+            if index_state is not None
+            else None
+        )
+        self.engine = ReverseKRanksEngine(graph, partition=partition, index=index)
+
+    def run_shard(self, positions, queries, k, algorithm, bounds, collect_delta):
+        """Evaluate one shard; returns ``(positions, results, delta)``."""
+        index = self.engine.index
+        if collect_delta and index is not None:
+            index.start_learning_log()
+        try:
+            results = self.engine.query_many(
+                list(queries), k, algorithm=algorithm, bounds=bounds,
+                use_csr=False,
+            )
+        finally:
+            delta = (
+                index.pop_learning_log()
+                if collect_delta and index is not None
+                else None
+            )
+        return tuple(positions), results, delta
+
+
+def worker_main(worker_id: int, init_bytes: bytes, task_queue, result_queue) -> None:
+    """Entry point of one worker process.
+
+    Reports ``"ready"`` after the engine is rebuilt, then answers shard
+    tasks until the shutdown sentinel.  Any exception — during startup or
+    while serving a shard — is formatted with its traceback and shipped
+    to the parent as an ``"error"`` message; the worker survives shard
+    errors (the next task may be fine) but startup errors are fatal.
+    """
+    try:
+        state = _WorkerState(pickle.loads(init_bytes))
+    except BaseException:
+        result_queue.put(("error", worker_id, None, traceback.format_exc()))
+        return
+    result_queue.put(("ready", worker_id, None, None))
+
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        job_id, positions, queries, k, algorithm, bounds, collect_delta = task
+        try:
+            payload = state.run_shard(
+                positions, queries, k, algorithm, bounds, collect_delta
+            )
+        except BaseException:
+            result_queue.put(
+                ("error", worker_id, job_id, traceback.format_exc())
+            )
+            continue
+        result_queue.put(("done", worker_id, job_id, payload))

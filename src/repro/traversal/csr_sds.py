@@ -95,6 +95,8 @@ class CompactSDSTreeSearch:
         count_active: bool = False,
         candidate: Optional[Predicate] = None,
         counted: Optional[Predicate] = None,
+        candidate_mask: Optional[bytearray] = None,
+        counted_mask: Optional[bytearray] = None,
     ) -> None:
         self._csr = csr
         self._query_node = query
@@ -108,18 +110,39 @@ class CompactSDSTreeSearch:
 
         # Predicates are evaluated once per node into flat masks; they are
         # pure membership tests (bichromatic partitions), so eager
-        # evaluation cannot change their answers.
+        # evaluation cannot change their answers.  Callers that answer many
+        # queries against one compilation (the engine) pass the masks in
+        # pre-built instead — the predicates then serve only as the
+        # fallback, and the O(n) evaluation is paid once per graph version
+        # rather than once per query.  Masks are read-only here, so
+        # sharing them across queries is safe.
         nodes = csr.node_ids
-        self._candidate_mask = (
-            None
-            if candidate is None
-            else bytearray(1 if candidate(node) else 0 for node in nodes)
-        )
-        self._counted_mask = (
-            None
-            if counted is None
-            else bytearray(1 if counted(node) else 0 for node in nodes)
-        )
+        if candidate_mask is not None:
+            if len(candidate_mask) != len(nodes):
+                raise ValueError(
+                    "candidate mask length does not match the compilation "
+                    f"({len(candidate_mask)} vs {len(nodes)} nodes)"
+                )
+            self._candidate_mask = candidate_mask
+        else:
+            self._candidate_mask = (
+                None
+                if candidate is None
+                else bytearray(1 if candidate(node) else 0 for node in nodes)
+            )
+        if counted_mask is not None:
+            if len(counted_mask) != len(nodes):
+                raise ValueError(
+                    "counted mask length does not match the compilation "
+                    f"({len(counted_mask)} vs {len(nodes)} nodes)"
+                )
+            self._counted_mask = counted_mask
+        else:
+            self._counted_mask = (
+                None
+                if counted is None
+                else bytearray(1 if counted(node) else 0 for node in nodes)
+            )
 
         # The SDS-tree grows towards q, i.e. over in-adjacency; refinements
         # run outwards from each candidate, i.e. over out-adjacency.

@@ -176,6 +176,103 @@ def test_harness_index_cache_round_trip(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Workers axis
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def workers_axis_result():
+    workload = gnp_workload(
+        num_nodes=24, avg_degree=4.0, seed=4, num_queries=4, k=3
+    )
+    return run_workload(workload, repetitions=1, warmup=0, workers=(1, 2))
+
+
+def test_workers_axis_adds_suffixed_rows(workers_axis_result):
+    algorithms = workers_axis_result.algorithms
+    assert {"naive", "static", "dynamic", "indexed"} <= set(algorithms)
+    for name in ("naive", "static", "dynamic", "indexed"):
+        assert algorithms[name].workers == 1
+        parallel = algorithms[f"{name}@w2"]
+        assert parallel.workers == 2
+        assert parallel.validated is True
+        assert len(parallel.repetitions) == 1
+        assert parallel.speedup_vs_serial is not None
+        assert parallel.speedup_vs_naive is not None
+    assert workers_axis_result.parallel_consistent is True
+
+
+def test_workers_axis_report_fields(workers_axis_result):
+    report = build_report([workers_axis_result], config={"workers": [1, 2]})
+    (workload,) = report["workloads"]
+    assert workload["parallel_consistent"] is True
+    assert workload["algorithms"]["dynamic"]["workers"] == 1
+    parallel = workload["algorithms"]["dynamic@w2"]
+    assert parallel["workers"] == 2
+    assert parallel["speedup_vs_serial"] > 0
+    table = render_table(report)
+    assert "dynamic@w2" in table
+    json.dumps(report)
+
+
+def test_single_parallel_workers_value_keys_rows_plainly():
+    workload = gnp_workload(
+        num_nodes=20, avg_degree=4.0, seed=6, num_queries=3, k=2
+    )
+    result = run_workload(workload, repetitions=1, warmup=0, workers=2)
+    assert set(result.algorithms) == {"naive", "static", "dynamic", "indexed"}
+    for name, timing in result.algorithms.items():
+        assert timing.workers == 2, name
+        assert timing.validated is True, name
+    # The sequential reference was computed untimed; the check still ran.
+    assert result.parallel_consistent is True
+
+
+def test_workers_axis_skips_sampled_naive_retiming():
+    workload = gnp_workload(
+        num_nodes=36, avg_degree=4.0, seed=5, num_queries=2, k=3,
+        naive_sample=10, index_params={"num_hubs": 3, "explore_limit": 18},
+    )
+    result = run_workload(workload, repetitions=1, warmup=0, workers=(1, 2))
+    assert result.algorithms["naive"].sampled_candidates == 10
+    assert result.algorithms["naive@w2"].skipped
+    assert result.algorithms["dynamic@w2"].validated is True
+    assert result.parallel_consistent is True
+
+
+def test_workers_axis_rejects_bad_values_and_no_csr():
+    workload = gnp_workload(num_nodes=18, seed=2, num_queries=2, k=2)
+    with pytest.raises(WorkloadError):
+        run_workload(workload, repetitions=1, warmup=0, workers=0)
+    with pytest.raises(WorkloadError):
+        run_workload(workload, repetitions=1, warmup=0, workers=(1, -2))
+    with pytest.raises(WorkloadError):
+        run_workload(
+            workload, repetitions=1, warmup=0, workers=2, use_csr=False
+        )
+
+
+def test_cli_workers_axis(tmp_path):
+    output = tmp_path / "bench.json"
+    exit_code = bench_main(
+        ["--smoke", "--families", "path", "--workers", "1,2",
+         "--output", str(output), "--quiet"]
+    )
+    assert exit_code == 0
+    report = json.loads(output.read_text())
+    assert report["config"]["workers"] == [1, 2]
+    (workload,) = report["workloads"]
+    assert workload["parallel_consistent"] is True
+    assert "dynamic@w2" in workload["algorithms"]
+
+
+def test_cli_rejects_malformed_workers(tmp_path, capsys):
+    exit_code = bench_main(
+        ["--smoke", "--workers", "two", "--output", str(tmp_path / "x.json")]
+    )
+    assert exit_code == 2
+    assert "--workers" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
 # Report + CLI
 # ----------------------------------------------------------------------
 def test_report_schema(tiny_result):

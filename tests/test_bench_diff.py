@@ -104,6 +104,18 @@ def test_compare_fails_on_correctness_flags():
     _, failures = compare_reports(old, bad_backend)
     assert any("backend_consistent is false" in line for line in failures)
 
+    bad_parallel_workload = make_workload("gnp", {"dynamic": (0.1, True)})
+    bad_parallel_workload["parallel_consistent"] = False
+    _, failures = compare_reports(old, make_report([bad_parallel_workload]))
+    assert any("parallel_consistent is false" in line for line in failures)
+
+    # Reports without the (optional) flag — every pre-parallel report —
+    # and reports where it is true never trip the gate.
+    ok_parallel_workload = make_workload("gnp", {"dynamic": (0.1, True)})
+    ok_parallel_workload["parallel_consistent"] = True
+    _, failures = compare_reports(old, make_report([ok_parallel_workload]))
+    assert failures == []
+
 
 def test_min_speedup_exempts_near_baseline_rows():
     def with_speedup(name, speedups):

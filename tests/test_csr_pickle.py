@@ -1,0 +1,106 @@
+"""CompactGraph pickle round trips (the worker pool's shipping format)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import dynamic_reverse_k_ranks, naive_reverse_k_ranks
+from repro.graph import CompactGraph, Graph
+
+from conftest import sample_queries
+
+
+def _roundtrip(compact: CompactGraph) -> CompactGraph:
+    return pickle.loads(pickle.dumps(compact))
+
+
+def _adjacency(compact: CompactGraph):
+    return {
+        node: list(compact.neighbor_items(node)) for node in compact.nodes()
+    }
+
+
+class TestCompactGraphPickle:
+    def test_round_trip_preserves_structure_and_metadata(self, any_graph):
+        compact = CompactGraph.from_graph(any_graph)
+        loaded = _roundtrip(compact)
+        assert loaded.directed == compact.directed
+        assert loaded.num_nodes == compact.num_nodes
+        assert loaded.num_edges == compact.num_edges
+        assert loaded.name == compact.name
+        assert list(loaded.nodes()) == list(compact.nodes())
+        assert _adjacency(loaded) == _adjacency(compact)
+        assert {
+            node: list(loaded.in_neighbor_items(node)) for node in loaded.nodes()
+        } == {
+            node: list(compact.in_neighbor_items(node)) for node in compact.nodes()
+        }
+
+    def test_round_trip_preserves_version_and_digest(self, random_gnp):
+        compact = CompactGraph.from_graph(random_gnp)
+        digest = compact.content_digest()
+        loaded = _roundtrip(compact)
+        assert loaded.source_version == random_gnp.version
+        assert loaded.version == random_gnp.version
+        assert loaded.content_digest() == digest
+
+    def test_source_graph_weakref_does_not_survive(self, random_gnp):
+        loaded = _roundtrip(CompactGraph.from_graph(random_gnp))
+        assert loaded.source_graph is None
+
+    def test_undirected_buffer_sharing_survives(self, random_gnp):
+        assert not random_gnp.directed
+        loaded = _roundtrip(CompactGraph.from_graph(random_gnp))
+        out_offsets, out_targets, out_weights = loaded.out_csr()
+        in_offsets, in_sources, in_weights = loaded.in_csr()
+        assert out_offsets is in_offsets
+        assert out_targets is in_sources
+        assert out_weights is in_weights
+
+    def test_reverse_view_round_trips(self, directed_gnp):
+        reverse = CompactGraph.from_graph(directed_gnp).reverse_view()
+        loaded = _roundtrip(reverse)
+        assert loaded.is_transposed
+        assert _adjacency(loaded) == _adjacency(reverse)
+        assert loaded.content_digest() == reverse.content_digest()
+        # Transposing back recovers the forward adjacency.
+        forward = CompactGraph.from_graph(directed_gnp)
+        assert _adjacency(loaded.reverse_view()) == _adjacency(forward)
+        assert not loaded.reverse_view().is_transposed
+
+    def test_digest_distinguishes_weights(self):
+        light = Graph()
+        heavy = Graph()
+        for graph, weight in ((light, 1.0), (heavy, 2.0)):
+            graph.add_edge("a", "b", weight)
+            graph.add_edge("b", "c", 1.5)
+        assert (
+            CompactGraph.from_graph(light).content_digest()
+            != CompactGraph.from_graph(heavy).content_digest()
+        )
+
+    def test_queries_on_unpickled_graph_are_bit_identical(self, any_graph):
+        compact = CompactGraph.from_graph(any_graph)
+        loaded = _roundtrip(compact)
+        for query in sample_queries(any_graph):
+            original = dynamic_reverse_k_ranks(compact, query, 3)
+            shipped = dynamic_reverse_k_ranks(loaded, query, 3)
+            assert original.as_pairs() == shipped.as_pairs()
+            original_counters = original.stats.as_dict()
+            shipped_counters = shipped.stats.as_dict()
+            del original_counters["elapsed_seconds"]  # wall clock, not work
+            del shipped_counters["elapsed_seconds"]
+            assert original_counters == shipped_counters
+            assert (
+                naive_reverse_k_ranks(loaded, query, 3).as_pairs()
+                == naive_reverse_k_ranks(compact, query, 3).as_pairs()
+            )
+
+    def test_unsupported_node_identifiers_fail_loudly(self):
+        graph = Graph()
+        graph.add_edge(lambda: None, "b", 1.0)  # lambdas cannot be pickled
+        compact = CompactGraph.from_graph(graph)
+        with pytest.raises(Exception):
+            pickle.dumps(compact)

@@ -163,3 +163,50 @@ def test_unknown_algorithm_name_raises(engine):
         engine.query(0, 2, algorithm="no-such-algorithm")
     with pytest.raises(ValueError):
         engine.query_many([0], 2, algorithm="no-such-algorithm")
+
+
+# ----------------------------------------------------------------------
+# Bichromatic mask caching (per graph version)
+# ----------------------------------------------------------------------
+def test_partition_masks_cached_per_graph_version(random_gnp, bichromatic_case):
+    graph = random_gnp
+    engine = ReverseKRanksEngine(graph, partition=bichromatic_case)
+    queries = sorted(bichromatic_case.facilities, key=repr)[:3]
+
+    first = engine.query_many(queries, 3, algorithm="dynamic")
+    masks = engine._masks
+    assert masks is not None
+    candidate_mask, counted_mask = masks
+    compact = engine.compact_graph()
+    for index, node in enumerate(compact.node_ids):
+        assert bool(candidate_mask[index]) == bichromatic_case.is_candidate(node)
+        assert bool(counted_mask[index]) == bichromatic_case.is_counted(node)
+
+    # A second batch on the same graph version reuses the same objects.
+    engine.query_many(queries, 3, algorithm="static")
+    assert engine._masks is masks
+
+    # Cached masks answer identically to per-query predicate evaluation
+    # (query() takes the dict path, which never uses masks).
+    for query, batched in zip(queries, first):
+        assert engine.query(query, 3, algorithm="dynamic").as_pairs() == (
+            batched.as_pairs()
+        )
+
+
+def test_partition_masks_recomputed_after_mutation(random_gnp, bichromatic_case):
+    graph = random_gnp.copy()
+    facilities = [node for node in bichromatic_case.facilities]
+    partition = BichromaticPartition(graph, facilities)
+    engine = ReverseKRanksEngine(graph, partition=partition)
+    queries = sorted(partition.facilities, key=repr)[:2]
+
+    engine.query_many(queries, 2, algorithm="dynamic")
+    stale_masks = engine._masks
+    graph.add_edge(0, 9, 0.75)
+    refreshed = engine.query_many(queries, 2, algorithm="dynamic")
+    assert engine._masks is not stale_masks
+    # And the refreshed batch agrees with the dict backend on the mutated
+    # graph (masks were rebuilt for the new compilation, not reused).
+    unmasked = engine.query_many(queries, 2, algorithm="dynamic", use_csr=False)
+    assert [r.as_pairs() for r in refreshed] == [r.as_pairs() for r in unmasked]

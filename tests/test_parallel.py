@@ -1,0 +1,409 @@
+"""The repro.parallel subsystem: planner, merger, pool, engine integration.
+
+Process-spawning tests default to the ``fork`` start method (cheap on the
+CI's Linux runners) and run one representative round trip under ``spawn``
+to prove start-method safety; both are skipped automatically on platforms
+that lack them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import AlgorithmKind, QueryStats, ReverseKRanksEngine
+from repro.core.types import QueryResult, RankedNode
+from repro.core.validation import results_equivalent
+from repro.errors import ParallelExecutionError, WorkerCrashError
+from repro.graph import CompactGraph
+from repro.parallel import (
+    ShardOutput,
+    ShardPlanner,
+    ShardPolicy,
+    WorkerPool,
+    merge_shard_outputs,
+)
+
+from conftest import sample_queries
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+HAVE_SPAWN = "spawn" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+needs_spawn = pytest.mark.skipif(not HAVE_SPAWN, reason="spawn start method unavailable")
+
+#: Start method used by the bulk of the process tests (fast to start).
+FAST_CONTEXT = "fork" if HAVE_FORK else None
+
+
+# ----------------------------------------------------------------------
+# ShardPlanner
+# ----------------------------------------------------------------------
+class TestShardPlanner:
+    def test_round_robin_covers_every_position_once(self):
+        plan = ShardPlanner(3).plan(list("abcdefgh"))
+        positions = sorted(
+            position for shard in plan.shards for position in shard.positions
+        )
+        assert positions == list(range(8))
+        assert plan.num_queries == 8
+        assert [len(shard) for shard in plan.shards] == [3, 3, 2]
+
+    def test_round_robin_preserves_query_position_pairing(self):
+        batch = ["q0", "q1", "q2", "q3", "q4"]
+        plan = ShardPlanner(2).plan(batch)
+        for shard in plan.shards:
+            for position, query in zip(shard.positions, shard.queries):
+                assert batch[position] == query
+
+    def test_affinity_is_stable_across_planners_and_processes(self):
+        planner_a = ShardPlanner(4, policy="affinity")
+        planner_b = ShardPlanner(4, policy=ShardPolicy.AFFINITY)
+        for query in ["x", "y", 17, (1, 2)]:
+            assert planner_a.affinity_shard(query) == planner_b.affinity_shard(query)
+        plan = planner_a.plan(["x", "y", "x", "y", "x"])
+        shard_of = {}
+        for shard in plan.shards:
+            for query in shard.queries:
+                shard_of.setdefault(query, shard.index)
+                assert shard_of[query] == shard.index  # repeats pinned
+
+    def test_cost_policy_balances_and_covers(self, random_gnp):
+        csr = CompactGraph.from_graph(random_gnp)
+        batch = sorted(random_gnp.nodes(), key=repr)
+        plan = ShardPlanner(3, policy="cost").plan(batch, graph=csr)
+        positions = sorted(
+            position for shard in plan.shards for position in shard.positions
+        )
+        assert positions == list(range(len(batch)))
+        loads = [
+            sum(ShardPlanner.estimate_cost(query, csr) for query in shard.queries)
+            for shard in plan.shards
+        ]
+        # LPT keeps the spread below one maximal item's cost.
+        assert max(loads) - min(loads) <= max(
+            ShardPlanner.estimate_cost(query, csr) for query in batch
+        )
+
+    def test_cost_policy_prefers_index_known_queries(self, random_gnp):
+        engine = ReverseKRanksEngine(random_gnp)
+        index = engine.build_index(num_hubs=4, capacity=8)
+        seeded = max(
+            random_gnp.nodes(), key=lambda node: index.reverse_rank_count(node)
+        )
+        assert index.reverse_rank_count(seeded) > 0
+        cheap = ShardPlanner.estimate_cost(seeded, random_gnp, index)
+        plain = ShardPlanner.estimate_cost(seeded, random_gnp, None)
+        assert cheap < plain
+
+    def test_invalid_parameters_raise_typed_errors(self):
+        with pytest.raises(ParallelExecutionError):
+            ShardPlanner(0)
+        with pytest.raises(ParallelExecutionError):
+            ShardPlanner(True)
+        with pytest.raises(ParallelExecutionError):
+            ShardPlanner(2, policy="bogus")
+
+
+# ----------------------------------------------------------------------
+# Merger
+# ----------------------------------------------------------------------
+def _result(query, rank_refinements=1):
+    stats = QueryStats(rank_refinements=rank_refinements)
+    return QueryResult(
+        query=query, k=1, entries=[RankedNode.make("n", 1)], stats=stats
+    )
+
+
+class TestMergeShardOutputs:
+    def test_reassembles_input_order_regardless_of_arrival(self):
+        outputs = [
+            ShardOutput(1, (1, 3), [_result("b"), _result("d")]),
+            ShardOutput(0, (0, 2), [_result("a"), _result("c")]),
+        ]
+        merged = merge_shard_outputs(outputs, batch_size=4)
+        assert [result.query for result in merged.results] == ["a", "b", "c", "d"]
+        assert merged.shards == 2
+
+    def test_aggregates_stats(self):
+        outputs = [
+            ShardOutput(0, (0,), [_result("a", rank_refinements=3)]),
+            ShardOutput(1, (1,), [_result("b", rank_refinements=4)]),
+        ]
+        merged = merge_shard_outputs(outputs, batch_size=2)
+        assert merged.stats.rank_refinements == 7
+
+    def test_deltas_come_back_in_shard_order(self):
+        outputs = [
+            ShardOutput(2, (2,), [_result("c")], delta="late"),
+            ShardOutput(0, (0,), [_result("a")], delta="early"),
+            ShardOutput(1, (1,), [_result("b")], delta=None),
+        ]
+        merged = merge_shard_outputs(outputs, batch_size=3)
+        assert merged.deltas == ["early", "late"]
+
+    def test_missing_duplicate_and_out_of_range_positions_fail(self):
+        with pytest.raises(ParallelExecutionError):
+            merge_shard_outputs([ShardOutput(0, (0,), [_result("a")])], batch_size=2)
+        with pytest.raises(ParallelExecutionError):
+            merge_shard_outputs(
+                [
+                    ShardOutput(0, (0,), [_result("a")]),
+                    ShardOutput(1, (0,), [_result("b")]),
+                ],
+                batch_size=2,
+            )
+        with pytest.raises(ParallelExecutionError):
+            merge_shard_outputs([ShardOutput(0, (5,), [_result("a")])], batch_size=2)
+        with pytest.raises(ParallelExecutionError):
+            merge_shard_outputs(
+                [ShardOutput(0, (0, 1), [_result("a")])], batch_size=2
+            )
+
+
+# ----------------------------------------------------------------------
+# Engine-level parallel execution (the tentpole's front door)
+# ----------------------------------------------------------------------
+@needs_fork
+class TestEngineParallel:
+    @pytest.mark.parametrize("kind", ["naive", "static", "dynamic"])
+    @pytest.mark.parametrize("policy", ["round_robin", "cost", "affinity"])
+    def test_parallel_matches_sequential_bit_identical(
+        self, random_gnp, kind, policy
+    ):
+        queries = sorted(random_gnp.nodes(), key=repr)[:8]
+        with ReverseKRanksEngine(random_gnp) as engine:
+            sequential = engine.query_many(queries, 4, algorithm=kind)
+            parallel = engine.query_many(
+                queries, 4, algorithm=kind, workers=2,
+                shard_policy=policy, worker_context=FAST_CONTEXT,
+            )
+        assert [result.as_pairs() for result in parallel] == [
+            result.as_pairs() for result in sequential
+        ]
+
+    def test_parallel_bichromatic_matches_sequential(self, bichromatic_case):
+        queries = sorted(bichromatic_case.facilities, key=repr)[:5]
+        with ReverseKRanksEngine(
+            bichromatic_case.graph, partition=bichromatic_case
+        ) as engine:
+            sequential = engine.query_many(queries, 3, algorithm="dynamic")
+            parallel = engine.query_many(
+                queries, 3, algorithm="dynamic", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+        assert [result.as_pairs() for result in parallel] == [
+            result.as_pairs() for result in sequential
+        ]
+
+    def test_indexed_parallel_learns_back_into_master(self, random_gnp):
+        queries = sorted(random_gnp.nodes(), key=repr)[:8]
+        with ReverseKRanksEngine(random_gnp) as engine:
+            engine.build_index(num_hubs=3, capacity=8)
+            before = engine.index.num_known_ranks
+            parallel = engine.query_many(
+                queries, 4, algorithm="indexed", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            after = engine.index.num_known_ranks
+            sequential = engine.query_many(queries, 4, algorithm="indexed")
+        assert after > before  # the workers' refinements were merged back
+        for expected, actual in zip(sequential, parallel):
+            assert results_equivalent(expected, actual)
+            assert expected.rank_values() == actual.rank_values()
+
+    def test_merged_index_answers_like_sequentially_warmed(self, random_gnp):
+        """The ISSUE's parity requirement, end to end through the pool."""
+        queries = sorted(random_gnp.nodes(), key=repr)[:8]
+        probes = sorted(random_gnp.nodes(), key=repr)[8:14]
+
+        engine_seq = ReverseKRanksEngine(random_gnp)
+        engine_seq.build_index(num_hubs=3, capacity=8)
+        engine_seq.query_many(queries, 4, algorithm="indexed")
+
+        with ReverseKRanksEngine(random_gnp) as engine_par:
+            engine_par.build_index(num_hubs=3, capacity=8)
+            engine_par.query_many(
+                queries, 4, algorithm="indexed", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            for probe in probes:
+                warmed = engine_seq.query(probe, 4, algorithm="indexed")
+                merged = engine_par.query(probe, 4, algorithm="indexed")
+                assert results_equivalent(warmed, merged)
+                assert warmed.rank_values() == merged.rank_values()
+
+    def test_parallel_aggregates_batch_stats(self, random_gnp):
+        queries = sorted(random_gnp.nodes(), key=repr)[:6]
+        with ReverseKRanksEngine(random_gnp) as engine:
+            results = engine.query_many(
+                queries, 3, algorithm="dynamic", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            aggregated = engine.last_batch_stats
+        assert aggregated is not None
+        assert aggregated.rank_refinements == sum(
+            result.stats.rank_refinements for result in results
+        )
+        assert aggregated.tree_pops == sum(
+            result.stats.tree_pops for result in results
+        )
+
+    def test_pool_persists_across_batches_and_invalidates_on_mutation(
+        self, random_gnp
+    ):
+        graph = random_gnp.copy()
+        queries = sorted(graph.nodes(), key=repr)[:6]
+        with ReverseKRanksEngine(graph) as engine:
+            engine.query_many(
+                queries, 3, algorithm="dynamic", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            first_pids = engine._pool.worker_pids
+            engine.query_many(
+                queries, 3, algorithm="static", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            assert engine._pool.worker_pids == first_pids  # reused
+
+            graph.add_edge(0, 13, 0.5)
+            parallel = engine.query_many(
+                queries, 3, algorithm="dynamic", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            assert engine._pool.worker_pids != first_pids  # rebuilt
+            sequential = engine.query_many(queries, 3, algorithm="dynamic")
+            assert [result.as_pairs() for result in parallel] == [
+                result.as_pairs() for result in sequential
+            ]
+
+    def test_workers_validation_and_sequential_fallbacks(self, random_gnp):
+        queries = sorted(random_gnp.nodes(), key=repr)[:4]
+        engine = ReverseKRanksEngine(random_gnp)
+        with pytest.raises(ParallelExecutionError):
+            engine.query_many(queries, 2, workers=0)
+        with pytest.raises(ParallelExecutionError):
+            engine.query_many(queries, 2, workers=True)
+        with pytest.raises(ParallelExecutionError):
+            engine.query_many(queries, 2, workers=2, use_csr=False)
+        # workers=1 and single-query batches never start a pool.
+        engine.query_many(queries, 2, workers=1)
+        engine.query_many(queries[:1], 2, workers=2)
+        assert engine._pool is None
+
+    def test_engine_recovers_from_worker_crash_on_retry(self, random_gnp):
+        queries = sorted(random_gnp.nodes(), key=repr)[:6]
+        with ReverseKRanksEngine(random_gnp) as engine:
+            engine.query_many(
+                queries, 3, algorithm="dynamic", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            os.kill(engine._pool.worker_pids[0], signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while engine._pool._processes[0].is_alive() and time.time() < deadline:
+                time.sleep(0.05)
+            with pytest.raises(WorkerCrashError):
+                engine.query_many(
+                    queries, 3, algorithm="dynamic", workers=2,
+                    worker_context=FAST_CONTEXT,
+                )
+            assert engine._pool is None  # crashed pool was dropped
+            retried = engine.query_many(  # retry builds a fresh pool
+                queries, 3, algorithm="dynamic", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            sequential = engine.query_many(queries, 3, algorithm="dynamic")
+        assert [result.as_pairs() for result in retried] == [
+            result.as_pairs() for result in sequential
+        ]
+
+    def test_close_pool_is_idempotent_and_context_managed(self, random_gnp):
+        queries = sorted(random_gnp.nodes(), key=repr)[:4]
+        engine = ReverseKRanksEngine(random_gnp)
+        engine.query_many(
+            queries, 2, algorithm="dynamic", workers=2,
+            worker_context=FAST_CONTEXT,
+        )
+        pool = engine._pool
+        assert pool is not None and not pool.is_closed
+        engine.close_pool()
+        assert pool.is_closed and engine._pool is None
+        engine.close_pool()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# WorkerPool lifecycle and failure surfacing
+# ----------------------------------------------------------------------
+@needs_fork
+class TestWorkerPool:
+    def test_requires_compact_graph(self, random_gnp):
+        with pytest.raises(ParallelExecutionError):
+            WorkerPool(random_gnp, workers=2)
+
+    def test_rejects_bad_workers_and_context(self, random_gnp):
+        csr = CompactGraph.from_graph(random_gnp)
+        with pytest.raises(ParallelExecutionError):
+            WorkerPool(csr, workers=0)
+        with pytest.raises(ParallelExecutionError):
+            WorkerPool(csr, workers=2, context="not-a-method")
+
+    def test_graceful_shutdown_reaps_processes(self, random_gnp):
+        csr = CompactGraph.from_graph(random_gnp)
+        with WorkerPool(csr, workers=2, context=FAST_CONTEXT) as pool:
+            processes = list(pool._processes)
+            assert all(process.is_alive() for process in processes)
+        assert pool.is_closed
+        for process in processes:
+            assert not process.is_alive()
+        pool.close()  # idempotent
+        plan = ShardPlanner(2).plan(sorted(random_gnp.nodes(), key=repr)[:4])
+        with pytest.raises(ParallelExecutionError):
+            pool.run_batch(plan, 2, "dynamic")
+
+    def test_killed_worker_surfaces_as_typed_crash(self, random_gnp):
+        csr = CompactGraph.from_graph(random_gnp)
+        queries = sorted(random_gnp.nodes(), key=repr)[:6]
+        with WorkerPool(csr, workers=2, context=FAST_CONTEXT) as pool:
+            victim = pool.worker_pids[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while pool._processes[0].is_alive() and time.time() < deadline:
+                time.sleep(0.05)
+            plan = ShardPlanner(2).plan(queries)
+            with pytest.raises(WorkerCrashError) as excinfo:
+                pool.run_batch(plan, 3, "dynamic")
+            assert excinfo.value.worker_id == 0
+            assert excinfo.value.exitcode == -signal.SIGKILL
+
+    def test_worker_exception_carries_remote_traceback(self, random_gnp):
+        csr = CompactGraph.from_graph(random_gnp)
+        with WorkerPool(csr, workers=1, context=FAST_CONTEXT) as pool:
+            # k beyond the engine-side validation the worker re-runs.
+            plan = ShardPlanner(1).plan(sorted(random_gnp.nodes(), key=repr)[:2])
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                pool.run_batch(plan, 10_000, "dynamic")
+            assert "InvalidKError" in str(excinfo.value)
+            # The worker survives a shard error and serves the next batch.
+            outcome = pool.run_batch(plan, 2, "dynamic")
+            assert len(outcome.results) == 2
+
+
+# ----------------------------------------------------------------------
+# Spawn start method (one representative round trip; slower to start)
+# ----------------------------------------------------------------------
+@needs_spawn
+def test_spawn_round_trip_matches_sequential(random_gnp):
+    queries = sample_queries(random_gnp, count=3)
+    with ReverseKRanksEngine(random_gnp) as engine:
+        sequential = engine.query_many(queries, 3, algorithm="dynamic")
+        parallel = engine.query_many(
+            queries, 3, algorithm="dynamic", workers=2, worker_context="spawn"
+        )
+        assert engine._pool.start_method == "spawn"
+    assert [result.as_pairs() for result in parallel] == [
+        result.as_pairs() for result in sequential
+    ]
