@@ -101,6 +101,18 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         ),
     )
     parser.add_argument(
+        "--stats",
+        default="per-query",
+        choices=("per-query", "aggregate", "none"),
+        help=(
+            "batch stats mode for parallel passes: per-query ships full "
+            "QueryStats per query, aggregate one merged QueryStats per "
+            "shard, none drops stats entirely — aggregate/none shrink the "
+            "per-query IPC bytes the name@wN rows report (default: "
+            "per-query)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=DEFAULT_REPORT_NAME,
         help=f"report path (default: {DEFAULT_REPORT_NAME})",
@@ -186,6 +198,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             index_cache=args.index_cache,
             workers=workers,
             worker_context=args.worker_context,
+            stats_mode=args.stats,
             progress=progress,
         )
     except WorkloadError as exc:
@@ -206,6 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "validate": not args.no_validate,
             "workers": workers,
             "worker_context": args.worker_context,
+            "stats": args.stats,
             "families": [workload.family for workload in workloads],
         },
     )

@@ -44,7 +44,7 @@ from repro.core.config import AlgorithmKind
 from repro.core.engine import ReverseKRanksEngine
 from repro.core.hub_index import HubIndex
 from repro.core.naive import naive_reverse_k_ranks
-from repro.core.types import QueryResult
+from repro.core.types import QueryResult, check_stats_mode
 from repro.core.validation import results_equivalent
 from repro.errors import (
     CrossValidationError,
@@ -78,7 +78,9 @@ class AlgorithmTiming:
     algorithm: str
     repetitions: List[float] = field(default_factory=list)
     index_build_seconds: Optional[float] = None
-    rank_refinements: int = 0
+    #: ``None`` when the counters were never collected (a parallel pass
+    #: under ``--stats none``) — never presented as a zero count.
+    rank_refinements: Optional[int] = 0
     validated: Optional[bool] = None
     speedup_vs_naive: Optional[float] = None
     skipped: Optional[str] = None
@@ -93,6 +95,9 @@ class AlgorithmTiming:
     #: Parallel rows only: this run's same-algorithm single-process batch
     #: time divided by this row's — the direct process-scaling factor.
     speedup_vs_serial: Optional[float] = None
+    #: Parallel rows only: flat result-payload bytes per query that crossed
+    #: the process boundary in one batch (reported by the shard codec).
+    ipc_bytes_per_query: Optional[float] = None
 
     @property
     def mean_seconds(self) -> Optional[float]:
@@ -128,6 +133,8 @@ class AlgorithmTiming:
         }
         if self.speedup_vs_serial is not None:
             payload["speedup_vs_serial"] = self.speedup_vs_serial
+        if self.ipc_bytes_per_query is not None:
+            payload["ipc_bytes_per_query"] = self.ipc_bytes_per_query
         if self.index_build_seconds is not None:
             payload["index_build_seconds"] = self.index_build_seconds
         if self.skipped is not None:
@@ -352,6 +359,7 @@ def run_workload(
     index_cache: Optional[object] = None,
     workers=1,
     worker_context: Optional[str] = None,
+    stats_mode: str = "per-query",
 ) -> WorkloadResult:
     """Time all four algorithms on ``workload``, across the ``workers`` axis.
 
@@ -390,6 +398,17 @@ def run_workload(
     worker_context:
         Multiprocessing start method for parallel passes (``None`` =
         platform default).
+    stats_mode:
+        The engine's batch ``stats`` knob (``"per-query"``, ``"aggregate"``
+        or ``"none"``), applied to the *parallel* timed passes, where it
+        selects the shard codec's stats payload — ``"aggregate"`` and
+        ``"none"`` shrink the per-query IPC bytes the rows report (and
+        ``"none"`` records the rows' ``rank_refinements`` as ``None``,
+        never a fake 0).  Sequential passes always keep full per-query
+        stats: in-process results carry them for free, and the
+        ``rank_refinements`` column needs them.  The parallel consistency
+        reference also runs (untimed) with full per-query stats, so the
+        rank-identity gate is mode-independent.
 
     Raises
     ------
@@ -400,6 +419,7 @@ def run_workload(
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
+    check_stats_mode(stats_mode)
     if workload.naive_sample is not None and workload.partition is not None:
         raise WorkloadError(
             "sampled naive baselines are monochromatic-only for now"
@@ -475,7 +495,8 @@ def run_workload(
                     # outside warmup and the timed repetitions.
                     engine.prepare_parallel(num_workers, worker_context)
                     run_kwargs.update(
-                        workers=num_workers, worker_context=worker_context
+                        workers=num_workers, worker_context=worker_context,
+                        stats=stats_mode,
                     )
 
                 for _ in range(warmup):
@@ -493,9 +514,23 @@ def run_workload(
                     )
                     timing.repetitions.append(time.perf_counter() - started)
 
-                timing.rank_refinements = sum(
-                    item.stats.rank_refinements for item in batch
-                )
+                if num_workers > 1 and stats_mode != "per-query":
+                    # Rebuilt results carry empty stats under "aggregate" /
+                    # "none"; take the counter from the batch aggregate when
+                    # one was collected, and report None — not a fake 0 —
+                    # when stats were never collected at all.
+                    batch_stats = engine.last_batch_stats
+                    timing.rank_refinements = getattr(
+                        batch_stats, "rank_refinements", None
+                    )
+                else:
+                    timing.rank_refinements = sum(
+                        item.stats.rank_refinements for item in batch
+                    )
+                if num_workers > 1 and batch:
+                    timing.ipc_bytes_per_query = (
+                        engine.last_batch_ipc_bytes / len(batch)
+                    )
                 if num_workers == 1:
                     serial_batches.setdefault(kind, batch)
 
@@ -652,6 +687,7 @@ def run_suite(
     index_cache: Optional[object] = None,
     workers=1,
     worker_context: Optional[str] = None,
+    stats_mode: str = "per-query",
     progress=None,
 ) -> List[WorkloadResult]:
     """Run every workload through :func:`run_workload`.
@@ -678,6 +714,7 @@ def run_suite(
                 index_cache=index_cache,
                 workers=workers,
                 worker_context=worker_context,
+                stats_mode=stats_mode,
             )
         )
     return results

@@ -44,10 +44,14 @@ Runs with a ``--workers`` axis record, per algorithm row, the worker
 count that executed its timed batches (``workers``, 1 = in-process) and —
 for parallel rows, keyed ``name@wN`` — the direct process-scaling factor
 ``speedup_vs_serial`` (same-run single-process batch time over this
-row's).  Workloads that ran a parallel pass additionally carry
-``parallel_consistent``: ``true`` iff every parallel batch was
-rank-identical to its sequential reference.  All additions are
-backwards-compatible optional fields, so the schema version stays 1.
+row's) plus ``ipc_bytes_per_query``, the flat result-payload bytes per
+query that crossed the process boundary in one batch (reported by the
+shard result codec; shrinks under ``--stats aggregate`` / ``none``,
+which the config records as ``stats``).  Workloads that ran a parallel
+pass additionally carry ``parallel_consistent``: ``true`` iff every
+parallel batch was rank-identical to its sequential reference.  All
+additions are backwards-compatible optional fields, so the schema
+version stays 1.
 """
 
 from __future__ import annotations
@@ -133,12 +137,13 @@ def render_table(report: Dict[str, object]) -> str:
             speedup = timing.get("speedup_vs_naive")
             serial = timing.get("speedup_vs_serial")
             validated = timing.get("validated")
+            refinements = timing.get("rank_refinements")
             lines.append(
                 f"{workload['name']:<20} {label:<12} "
                 f"{_format_seconds(timing.get('per_query_seconds')):>10} "
                 f"{(f'{speedup:.1f}x' if speedup else '-'):>8} "
                 f"{(f'{serial:.2f}x' if serial else '-'):>7} "
-                f"{timing.get('rank_refinements', 0):>7} "
+                f"{(refinements if refinements is not None else '-'):>7} "
                 f"{('y' if validated else '-'):>3}"
             )
     if any_sampled:

@@ -57,6 +57,7 @@ def bichromatic_reverse_k_ranks(
     bounds: Optional[BoundSet] = None,
     backend=None,
     masks=None,
+    arena=None,
 ) -> QueryResult:
     """Bichromatic reverse k-ranks with the SDS-tree framework.
 
@@ -77,6 +78,9 @@ def bichromatic_reverse_k_ranks(
         :class:`~repro.core.framework.SDSTreeSearch`).  They must encode
         this partition's :meth:`~BichromaticPartition.is_candidate` /
         :meth:`~BichromaticPartition.is_counted` answers.
+    arena:
+        Optional reusable :class:`~repro.traversal.arena.ScratchArena`
+        (results and stats are identical with or without it).
     """
     partition.validate_query_node(query)
     active = BoundSet.all() if bounds is None else bounds
@@ -90,5 +94,6 @@ def bichromatic_reverse_k_ranks(
         algorithm_label=f"Bichromatic-{active.label()}",
         backend=backend,
         masks=masks,
+        arena=arena,
     )
     return search.run()

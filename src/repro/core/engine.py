@@ -47,7 +47,12 @@ from repro.core.naive import naive_reverse_k_ranks
 from repro.core.sds_dynamic import dynamic_reverse_k_ranks
 from repro.core.sds_indexed import indexed_reverse_k_ranks
 from repro.core.sds_static import static_reverse_k_ranks
-from repro.core.types import QueryResult
+from repro.core.types import (
+    QueryResult,
+    QueryStats,
+    STATS_UNAVAILABLE,
+    check_stats_mode,
+)
 from repro.errors import (
     BichromaticError,
     IndexParameterError,
@@ -60,6 +65,7 @@ from repro.errors import (
 )
 from repro.graph.csr import CompactGraph
 from repro.graph.partition import BichromaticPartition
+from repro.traversal.arena import ScratchArena
 
 NodeId = Hashable
 
@@ -89,6 +95,14 @@ class ReverseKRanksEngine:
     index:
         Optional prebuilt :class:`~repro.core.hub_index.HubIndex` for the
         indexed algorithm; :meth:`build_index` constructs one in place.
+
+    An engine answers **one query at a time**: it owns a single
+    :class:`~repro.traversal.arena.ScratchArena` (plus CSR/mask caches
+    and a learning hub index) that its queries share, so calling
+    :meth:`query`/:meth:`query_many` concurrently from multiple threads
+    on the *same* engine is not supported — use one engine per thread,
+    or ``query_many(workers=N)``, whose parallelism lives in worker
+    processes each owning a private engine.
     """
 
     def __init__(
@@ -128,8 +142,19 @@ class ReverseKRanksEngine:
         self._pool_version: Optional[int] = None
         self._pool_context: Optional[str] = None
         self._pool_index = None
-        #: Aggregated QueryStats of the most recent parallel batch.
+        # Reusable epoch-stamped scratch memory, threaded through every
+        # SDS-tree query this engine answers (worker-process engines get
+        # their own).  Graph mutations don't invalidate it: it only grows,
+        # and each query claims it with a fresh epoch.
+        self._arena = ScratchArena()
+        #: Aggregated QueryStats of the most recent query_many batch, or
+        #: :data:`~repro.core.types.STATS_UNAVAILABLE` after a
+        #: ``stats="none"`` batch (never silently zeroed).
         self.last_batch_stats = None
+        #: Flat payload bytes the most recent parallel batch shipped back
+        #: through the result queues (codec-reported; 0 for sequential
+        #: batches).
+        self.last_batch_ipc_bytes = 0
 
     # ------------------------------------------------------------------
     @property
@@ -151,6 +176,11 @@ class ReverseKRanksEngine:
     def is_bichromatic(self) -> bool:
         """Whether queries run in bichromatic mode."""
         return self._partition is not None
+
+    @property
+    def arena(self) -> ScratchArena:
+        """The engine's reusable :class:`ScratchArena`."""
+        return self._arena
 
     # ------------------------------------------------------------------
     def compact_graph(self) -> CompactGraph:
@@ -250,6 +280,7 @@ class ReverseKRanksEngine:
         workers: int = 1,
         shard_policy: str = "round_robin",
         worker_context: Optional[str] = None,
+        stats: str = "per-query",
     ) -> List[QueryResult]:
         """Answer a batch of reverse k-ranks queries, amortising setup work.
 
@@ -307,6 +338,20 @@ class ReverseKRanksEngine:
             Parallel mode only: multiprocessing start method (``"fork"``,
             ``"spawn"``, ``"forkserver"``, or ``None`` for the platform
             default).
+        stats:
+            What batch statistics to collect — ``"per-query"`` (default:
+            every result carries its full
+            :class:`~repro.core.types.QueryStats`), ``"aggregate"`` (one
+            batch-level aggregate on :attr:`last_batch_stats`; in parallel
+            mode each shard ships a single merged ``QueryStats`` instead
+            of per-query counter arrays, and rebuilt results carry empty
+            stats) or ``"none"`` (no stats at all;
+            :attr:`last_batch_stats` is set to
+            :data:`~repro.core.types.STATS_UNAVAILABLE`, never a zeroed
+            object).  In parallel mode the knob directly shrinks the IPC
+            payload; sequentially it only selects what
+            :attr:`last_batch_stats` records (per-query stats cost nothing
+            to keep on in-process results).
 
         Returns
         -------
@@ -314,6 +359,7 @@ class ReverseKRanksEngine:
             One result per query, in input order.
         """
         kind = AlgorithmKind(algorithm)
+        check_stats_mode(stats)
         batch = list(queries)
         check_positive_k(k)
         for query in batch:
@@ -337,7 +383,8 @@ class ReverseKRanksEngine:
                 )
             if len(batch) > 1:
                 return self._query_many_parallel(
-                    batch, k, kind, bounds, workers, shard_policy, worker_context
+                    batch, k, kind, bounds, workers, shard_policy,
+                    worker_context, stats,
                 )
 
         backend: Optional[CompactGraph] = (
@@ -360,6 +407,14 @@ class ReverseKRanksEngine:
                 if len(cache) > cache_size:
                     cache.popitem(last=False)
             results.append(result)
+        if stats == "none":
+            self.last_batch_stats = STATS_UNAVAILABLE
+        else:
+            aggregated = QueryStats()
+            for result in results:
+                aggregated.merge(result.stats)
+            self.last_batch_stats = aggregated
+        self.last_batch_ipc_bytes = 0
         return results
 
     # ------------------------------------------------------------------
@@ -447,6 +502,7 @@ class ReverseKRanksEngine:
         workers: int,
         shard_policy: str,
         worker_context: Optional[str],
+        stats_mode: str,
     ) -> List[QueryResult]:
         from repro.parallel import ShardPlanner
 
@@ -458,7 +514,9 @@ class ReverseKRanksEngine:
             index=self._index if kind is AlgorithmKind.INDEXED else None,
         )
         try:
-            outcome = pool.run_batch(plan, k, kind, bounds=bounds)
+            outcome = pool.run_batch(
+                plan, k, kind, bounds=bounds, stats_mode=stats_mode
+            )
         except WorkerCrashError:
             # The pool now contains a dead worker; drop it so a caller's
             # retry gets a fresh pool instead of re-dispatching shards to
@@ -470,7 +528,12 @@ class ReverseKRanksEngine:
             # the last-writer-wins merge is deterministic run to run.
             for delta in outcome.deltas:
                 self._index.merge_delta(delta)
-        self.last_batch_stats = outcome.stats
+        # "none" means never collected — mark it unavailable rather than
+        # presenting a zeroed QueryStats as if the batch did no work.
+        self.last_batch_stats = (
+            outcome.stats if outcome.stats is not None else STATS_UNAVAILABLE
+        )
+        self.last_batch_ipc_bytes = outcome.ipc_bytes
         return outcome.results
 
     # ------------------------------------------------------------------
@@ -525,16 +588,18 @@ class ReverseKRanksEngine:
         if kind is AlgorithmKind.NAIVE:
             return naive_reverse_k_ranks(graph, query, k)
         if kind is AlgorithmKind.STATIC:
-            return static_reverse_k_ranks(graph, query, k)
+            return static_reverse_k_ranks(graph, query, k, arena=self._arena)
         if kind is AlgorithmKind.DYNAMIC:
-            return dynamic_reverse_k_ranks(graph, query, k, bounds=bounds)
+            return dynamic_reverse_k_ranks(
+                graph, query, k, bounds=bounds, arena=self._arena
+            )
         self._require_monochromatic_index()
         # The hub index stores node-id ranks for the dict-backed graph it
         # was built on; indexed queries keep that graph as the source of
         # truth and hand the CSR compilation along as the traversal backend.
         return indexed_reverse_k_ranks(
             self._graph, query, k, index=self._index, bounds=bounds,
-            backend=backend,
+            backend=backend, arena=self._arena,
         )
 
     def _partition_masks(self, backend: Optional[CompactGraph]):
@@ -581,10 +646,11 @@ class ReverseKRanksEngine:
         if kind is AlgorithmKind.STATIC:
             return bichromatic_reverse_k_ranks(
                 self._partition, query, k, bounds=BoundSet.none(),
-                backend=backend, masks=masks,
+                backend=backend, masks=masks, arena=self._arena,
             )
         return bichromatic_reverse_k_ranks(
-            self._partition, query, k, bounds=bounds, backend=backend, masks=masks
+            self._partition, query, k, bounds=bounds, backend=backend,
+            masks=masks, arena=self._arena,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

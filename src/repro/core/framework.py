@@ -110,6 +110,13 @@ class SDSTreeSearch:
         re-evaluate the predicates over every node on every query; the
         masks must encode exactly the ``candidate`` / ``counted``
         predicates.  Ignored by the generic (dict-backed) loops.
+    arena:
+        Optional :class:`~repro.traversal.arena.ScratchArena` supplying
+        reusable, epoch-stamped scratch memory (frontier heaps, settled
+        sets, the dense bound lists) for both the CSR and the generic
+        loops.  Engines own one and thread it through every query;
+        results and :class:`~repro.core.types.QueryStats` are identical
+        with or without it.
     """
 
     def __init__(
@@ -124,6 +131,7 @@ class SDSTreeSearch:
         algorithm_label: str = "",
         backend=None,
         masks=None,
+        arena=None,
     ) -> None:
         check_positive_k(k)
         if not graph.has_node(query):
@@ -141,6 +149,7 @@ class SDSTreeSearch:
         self._candidate = candidate
         self._counted = counted
         self._masks = masks if masks is not None else (None, None)
+        self._arena = arena
         self._label = algorithm_label or self._bounds.label()
 
         # The count bound is only valid on undirected graphs (paper, footnote
@@ -192,6 +201,7 @@ class SDSTreeSearch:
                 counted=self._counted,
                 candidate_mask=self._masks[0],
                 counted_mask=self._masks[1],
+                arena=self._arena,
             ).traverse()
         else:
             self._traverse()
@@ -220,7 +230,10 @@ class SDSTreeSearch:
     # SDS-tree traversal (Dijkstra towards q on the transpose graph)
     # ------------------------------------------------------------------
     def _traverse(self) -> None:
-        heap: AddressableHeap = AddressableHeap()
+        if self._arena is not None:
+            heap = self._arena.acquire_generic_tree_heap()
+        else:
+            heap = AddressableHeap()
         heap.push(self._query, 0.0)
 
         while heap:
@@ -382,6 +395,7 @@ class SDSTreeSearch:
             counted=self._counted,
             on_push=on_push,
             on_settle=on_settle,
+            arena=self._arena,
         )
         self.stats.refinement_nodes_settled += outcome.settled
 

@@ -79,6 +79,7 @@ def refine_rank(
     counted: Optional[Callable[[NodeId], bool]] = None,
     on_push: Optional[Callable[[NodeId], None]] = None,
     on_settle: Optional[Callable[[NodeId, int], None]] = None,
+    arena=None,
 ) -> RefinementOutcome:
     """Compute ``Rank(source, target)`` given a path length ``radius``.
 
@@ -111,14 +112,23 @@ def refine_rank(
         node other than ``source`` — including ``target`` — with its exact
         rank with respect to ``source``.  Used to update the Reverse Rank
         Dictionary.
+    arena:
+        Optional :class:`~repro.traversal.arena.ScratchArena`; when given,
+        the frontier heap and the settled dict are drawn from it (cleared,
+        not reallocated) instead of being built per call.  Results are
+        identical either way — heap tie-breaking only compares entries of
+        the same search.
 
     Returns
     -------
     RefinementOutcome
     """
-    heap: AddressableHeap = AddressableHeap()
+    if arena is not None:
+        heap, settled = arena.acquire_generic_refine()
+    else:
+        heap = AddressableHeap()
+        settled = {}
     heap.push(source, 0.0)
-    settled: dict = {}
     pushed = 0
     # Nodes already reported to on_push; a node may only cross below the
     # radius via a later decrease-key, and must be reported exactly once.

@@ -31,6 +31,7 @@ def dynamic_reverse_k_ranks(
     candidate: Optional[Predicate] = None,
     counted: Optional[Predicate] = None,
     backend=None,
+    arena=None,
 ) -> QueryResult:
     """Answer a reverse k-ranks query with the Dynamic Bounded SDS-tree.
 
@@ -45,6 +46,9 @@ def dynamic_reverse_k_ranks(
         Optional fresh :class:`~repro.graph.csr.CompactGraph` compilation
         of ``graph``; the traversal then runs on the CSR fast path with
         bit-identical results and stats.
+    arena:
+        Optional reusable :class:`~repro.traversal.arena.ScratchArena`
+        (results and stats are identical with or without it).
     """
     active = BoundSet.all() if bounds is None else bounds
     search = SDSTreeSearch(
@@ -55,5 +59,6 @@ def dynamic_reverse_k_ranks(
         candidate=candidate,
         counted=counted,
         backend=backend,
+        arena=arena,
     )
     return search.run()

@@ -35,6 +35,7 @@ def indexed_reverse_k_ranks(
     strategy: Union[HubSelectionStrategy, str] = HubSelectionStrategy.DEGREE,
     rng: Optional[random.Random] = None,
     backend=None,
+    arena=None,
 ) -> QueryResult:
     """Answer a reverse k-ranks query with the hub-indexed algorithm.
 
@@ -54,6 +55,9 @@ def indexed_reverse_k_ranks(
         of ``graph``.  The index stays keyed by node identifiers (and keeps
         learning), while the traversal and refinements run on the CSR fast
         path.
+    arena:
+        Optional reusable :class:`~repro.traversal.arena.ScratchArena`
+        (results and stats are identical with or without it).
     """
     if index is None:
         index = HubIndex.build(
@@ -73,5 +77,6 @@ def indexed_reverse_k_ranks(
         index=index,
         algorithm_label="Indexed",
         backend=backend,
+        arena=arena,
     )
     return search.run()

@@ -28,6 +28,7 @@ def static_reverse_k_ranks(
     candidate: Optional[Predicate] = None,
     counted: Optional[Predicate] = None,
     backend=None,
+    arena=None,
 ) -> QueryResult:
     """Answer a reverse k-ranks query with the static SDS-tree.
 
@@ -35,7 +36,9 @@ def static_reverse_k_ranks(
     ``candidate`` / ``counted`` predicates support the bichromatic variant.
     ``backend`` optionally supplies a fresh
     :class:`~repro.graph.csr.CompactGraph` compilation of ``graph`` so the
-    traversal runs on the CSR fast path (results are identical either way).
+    traversal runs on the CSR fast path (results are identical either way);
+    ``arena`` an optional reusable
+    :class:`~repro.traversal.arena.ScratchArena`.
     """
     search = SDSTreeSearch(
         graph,
@@ -45,5 +48,6 @@ def static_reverse_k_ranks(
         candidate=candidate,
         counted=counted,
         backend=backend,
+        arena=arena,
     )
     return search.run()

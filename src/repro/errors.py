@@ -148,19 +148,34 @@ class WorkerCrashError(ParallelExecutionError):
     The pool distinguishes a worker that *raised* (surfaced as
     :class:`ParallelExecutionError` with the remote traceback) from one
     that vanished — killed by a signal, the OOM reaper, or an interpreter
-    abort.  ``worker_id`` and ``exitcode`` identify the casualty.
+    abort.  ``worker_id`` and ``exitcode`` identify the casualty;
+    ``positions`` (when the crash happened mid-batch) names the batch
+    positions whose shards the dead worker was still holding, so callers
+    know exactly which queries went unanswered.
     """
 
-    def __init__(self, worker_id: int, exitcode: object, detail: str = "") -> None:
+    def __init__(
+        self,
+        worker_id: int,
+        exitcode: object,
+        detail: str = "",
+        positions=None,
+    ) -> None:
         message = (
             f"worker {worker_id} crashed (exitcode {exitcode!r}) "
             "before returning its shard"
         )
+        if positions is not None:
+            message = (
+                f"{message} (batch positions {sorted(positions)!r} were "
+                "still assigned to it)"
+            )
         if detail:
             message = f"{message}: {detail}"
         super().__init__(message)
         self.worker_id = worker_id
         self.exitcode = exitcode
+        self.positions = None if positions is None else tuple(positions)
 
 
 class DatasetError(ReproError):

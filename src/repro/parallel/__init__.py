@@ -15,8 +15,13 @@ substrate that exploits the former and reconciles the latter:
 * :mod:`repro.parallel.pool` — :class:`WorkerPool`, the persistent
   process pool with startup barrier, typed crash surfacing and graceful
   shutdown;
+* :mod:`repro.parallel.codec` — :class:`ShardResultCodec`, the flat-array
+  transport of shard results (ranks as doubles, entry nodes as CSR
+  indexes, per-query offsets, stats payload selected by the ``stats``
+  knob) that replaced per-object result pickling;
 * :mod:`repro.parallel.merge` — deterministic reassembly of shard
-  results in input order, with aggregated
+  results in input order (decoding the flat blocks against the parent's
+  compilation, header-validated first), with aggregated
   :class:`~repro.core.types.QueryStats` and the workers' learning deltas
   ready for :meth:`~repro.core.hub_index.HubIndex.merge_delta`.
 
@@ -27,6 +32,7 @@ merges the learned rank deltas back into its master index after every
 indexed batch.
 """
 
+from repro.parallel.codec import ShardResultBlock, ShardResultCodec
 from repro.parallel.merge import (
     ParallelBatchResult,
     ShardOutput,
@@ -41,6 +47,8 @@ __all__ = [
     "ShardPlanner",
     "ShardPolicy",
     "ShardOutput",
+    "ShardResultBlock",
+    "ShardResultCodec",
     "ParallelBatchResult",
     "merge_shard_outputs",
     "WorkerPool",

@@ -41,6 +41,7 @@ import queue as queue_module
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import AlgorithmKind
+from repro.core.types import check_stats_mode
 from repro.errors import ParallelExecutionError, WorkerCrashError, is_positive_int
 from repro.parallel.merge import ParallelBatchResult, ShardOutput, merge_shard_outputs
 from repro.parallel.planner import ShardPlan
@@ -137,6 +138,9 @@ class WorkerPool:
         self._start_method = ctx.get_start_method()
         self._has_index = index_state is not None
         self._job_ids = itertools.count()
+        # Kept for decoding shard result blocks (entry nodes travel as
+        # CSR indexes of this compilation).
+        self._graph = graph
         init_bytes = build_init_payload(
             graph, index_state=index_state, facilities=facilities
         )
@@ -211,6 +215,7 @@ class WorkerPool:
         algorithm,
         bounds=None,
         collect_deltas: Optional[bool] = None,
+        stats_mode: str = "per-query",
     ) -> ParallelBatchResult:
         """Execute one planned batch across the workers.
 
@@ -220,7 +225,10 @@ class WorkerPool:
 
         ``collect_deltas`` defaults to "whenever the workers hold an
         index and the algorithm is indexed" — exactly when there is
-        learning to harvest.
+        learning to harvest.  ``stats_mode`` selects what stats payload
+        the shard result blocks carry back (see
+        :mod:`repro.parallel.codec`); with ``"none"`` the merged batch's
+        ``stats`` is ``None``.
 
         Raises
         ------
@@ -228,17 +236,21 @@ class WorkerPool:
             When the pool is closed, or a worker reported an exception
             (the remote traceback is embedded in the message).
         WorkerCrashError
-            When a worker process died without reporting anything.
+            When a worker process died without reporting anything; its
+            ``positions`` attribute names the batch positions the dead
+            worker was still holding.
         """
         if self._closed:
             raise ParallelExecutionError(
                 "cannot run a batch on a closed WorkerPool"
             )
         kind = AlgorithmKind(algorithm)
+        check_stats_mode(stats_mode)
         if collect_deltas is None:
             collect_deltas = self._has_index and kind is AlgorithmKind.INDEXED
         job_id = next(self._job_ids)
         shards = plan.non_empty()
+        shard_by_index = {shard.index: shard for shard in shards}
         for shard in shards:
             self._task_queues[shard.index % self._num_workers].put(
                 (
@@ -249,13 +261,29 @@ class WorkerPool:
                     kind.value,
                     bounds,
                     bool(collect_deltas),
+                    stats_mode,
                 )
             )
         outputs: List[ShardOutput] = []
+        returned: set = set()
         pending = len(shards)
         arrival: Dict[int, int] = {}
         while pending:
-            message_kind, worker_id, message_job, payload = self._receive()
+            try:
+                message_kind, worker_id, message_job, payload = self._receive()
+            except WorkerCrashError as exc:
+                # Name the casualties: every position of a shard assigned
+                # to the dead worker that has not come back yet.
+                lost = tuple(
+                    position
+                    for shard in shards
+                    if shard.index % self._num_workers == exc.worker_id
+                    and shard.index not in returned
+                    for position in shard.positions
+                )
+                raise WorkerCrashError(
+                    exc.worker_id, exc.exitcode, positions=lost
+                ) from exc
             if message_job != job_id:
                 # A leftover from a batch that failed after this worker had
                 # already finished its shard; drop it.
@@ -267,22 +295,29 @@ class WorkerPool:
                 )
             positions, results, delta = payload
             arrival[worker_id] = arrival.get(worker_id, 0) + 1
+            # Recover the shard index deterministically: workers process
+            # their queue in FIFO order, and shard s went to worker s % N,
+            # so the j-th arrival from worker w is the j-th shard (in index
+            # order) assigned to w.
+            shard_index = self._nth_shard_of_worker(
+                shards, worker_id, arrival[worker_id]
+            )
+            returned.add(shard_index)
             outputs.append(
                 ShardOutput(
-                    # Recover the shard index deterministically: workers
-                    # process their queue in FIFO order, and shard s went to
-                    # worker s % N, so the j-th arrival from worker w is the
-                    # j-th shard (in index order) assigned to w.
-                    shard_index=self._nth_shard_of_worker(
-                        shards, worker_id, arrival[worker_id]
-                    ),
+                    shard_index=shard_index,
                     positions=positions,
                     results=results,
                     delta=delta,
+                    # Decode against the parent's plan, not worker-reported
+                    # identifiers.
+                    queries=shard_by_index[shard_index].queries,
                 )
             )
             pending -= 1
-        return merge_shard_outputs(outputs, batch_size=plan.num_queries)
+        return merge_shard_outputs(
+            outputs, batch_size=plan.num_queries, csr=self._graph
+        )
 
     def _nth_shard_of_worker(self, shards, worker_id: int, nth: int) -> int:
         """Index of the ``nth`` (1-based) shard dispatched to ``worker_id``."""

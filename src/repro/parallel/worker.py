@@ -27,11 +27,13 @@ reads the ``None`` shutdown sentinel.
 Message protocol (all tuples, queue-pickled)
 --------------------------------------------
 * parent -> worker: ``(job_id, positions, queries, k, algorithm_value,
-  bounds, collect_delta)`` or ``None`` to shut down.
+  bounds, collect_delta, stats_mode)`` or ``None`` to shut down.
 * worker -> parent: ``(kind, worker_id, job_id, payload)`` where ``kind``
   is ``"ready"`` (startup complete), ``"done"`` (payload is
-  ``(positions, results, delta)``) or ``"error"`` (payload is a
-  formatted remote traceback string).
+  ``(positions, block, delta)`` with ``block`` a flat
+  :class:`~repro.parallel.codec.ShardResultBlock` — per-object result
+  pickling is gone; see :mod:`repro.parallel.codec` for the wire format)
+  or ``"error"`` (payload is a formatted remote traceback string).
 """
 
 from __future__ import annotations
@@ -99,8 +101,19 @@ class _WorkerState:
         )
         self.engine = ReverseKRanksEngine(graph, partition=partition, index=index)
 
-    def run_shard(self, positions, queries, k, algorithm, bounds, collect_delta):
-        """Evaluate one shard; returns ``(positions, results, delta)``."""
+    def run_shard(
+        self, positions, queries, k, algorithm, bounds, collect_delta,
+        stats_mode="per-query",
+    ):
+        """Evaluate one shard; returns ``(positions, block, delta)``.
+
+        ``block`` is the shard's results packed into flat array buffers
+        by :class:`~repro.parallel.codec.ShardResultCodec` under
+        ``stats_mode`` — the worker's engine *is* the CSR compilation, so
+        entry nodes leave as integer indexes, never pickled identifiers.
+        """
+        from repro.parallel.codec import ShardResultCodec
+
         index = self.engine.index
         if collect_delta and index is not None:
             index.start_learning_log()
@@ -115,7 +128,10 @@ class _WorkerState:
                 if collect_delta and index is not None
                 else None
             )
-        return tuple(positions), results, delta
+        block = ShardResultCodec.encode(
+            results, self.engine.graph, stats_mode=stats_mode
+        )
+        return tuple(positions), block, delta
 
 
 def worker_main(worker_id: int, init_bytes: bytes, task_queue, result_queue) -> None:
@@ -138,10 +154,14 @@ def worker_main(worker_id: int, init_bytes: bytes, task_queue, result_queue) -> 
         task = task_queue.get()
         if task is None:
             break
-        job_id, positions, queries, k, algorithm, bounds, collect_delta = task
+        (
+            job_id, positions, queries, k, algorithm, bounds, collect_delta,
+            stats_mode,
+        ) = task
         try:
             payload = state.run_shard(
-                positions, queries, k, algorithm, bounds, collect_delta
+                positions, queries, k, algorithm, bounds, collect_delta,
+                stats_mode,
             )
         except BaseException:
             result_queue.put(

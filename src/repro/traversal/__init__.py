@@ -7,6 +7,9 @@ lives here:
   decrease-key, the priority queue ``Q`` of the paper's pseudo-code;
 * :class:`~repro.traversal.int_heap.IntHeap` — its array-backed twin over
   dense int keys, used by the CSR-specialised loops;
+* :class:`~repro.traversal.arena.ScratchArena` — epoch-stamped reusable
+  scratch memory (heaps, settled sets, dense bound lists) the engines
+  thread through every query instead of reallocating per query;
 * :mod:`~repro.traversal.csr_sds` — the CSR index-space SDS-tree +
   refinement pipeline (dispatched to by :mod:`repro.core.framework`);
 * :mod:`~repro.traversal.dijkstra` — full, bounded and *lazy* (incremental)
@@ -16,6 +19,7 @@ lives here:
   ground truth by the tests and the naive baseline.
 """
 
+from repro.traversal.arena import EpochStamps, ScratchArena
 from repro.traversal.heap import AddressableHeap
 from repro.traversal.int_heap import IntHeap
 from repro.traversal.dijkstra import (
@@ -36,7 +40,9 @@ from repro.traversal.csr_ops import (
 
 __all__ = [
     "AddressableHeap",
+    "EpochStamps",
     "IntHeap",
+    "ScratchArena",
     "DijkstraSearch",
     "ShortestPathTree",
     "shortest_path_distances",

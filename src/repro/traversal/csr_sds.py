@@ -12,6 +12,16 @@ of it is supplied); node identifiers are translated to CSR indexes once at
 query entry and back only at the few boundaries that leave index space
 (result-set offers and hub-index reads/writes).
 
+All working memory is drawn from an epoch-stamped
+:class:`~repro.traversal.arena.ScratchArena` (the caller's — normally the
+engine's, reused across every query it answers — or a private one when
+none is supplied): the frontier heaps, the settled/notified sets and the
+three dense Theorem-2 bound lists live in the arena, and a new query or
+refinement claims them with an O(1) epoch bump instead of O(n)
+reallocation.  Values written in an earlier epoch are invisible — reads
+fall back to exactly the defaults a fresh allocation would hold — so
+arena reuse is behaviour-preserving by construction.
+
 Exactness
 ---------
 The traversal is a *transcription*, not a re-derivation: every decision the
@@ -21,24 +31,26 @@ doubles.  Three properties guarantee that:
 * :class:`IntHeap` breaks priority ties by insertion order and preserves a
   key's insertion counter across ``decrease_key``, exactly like
   :class:`~repro.traversal.heap.AddressableHeap`, so nodes pop in the same
-  order;
+  order (reused heaps keep counting, which preserves relative insertion
+  order within a search — the only thing ties compare);
 * :class:`CompactGraph` compiles adjacency rows in the source graph's
   iteration order, so neighbours relax in the same order and tentative
   distances are produced by the same float additions;
 * the bound bookkeeping (parent rank, tree height, ``lcount``) and the
   refinement's tie-group arithmetic mirror the originals statement by
-  statement.
+  statement, with epoch-guarded reads supplying the originals' defaults.
 
 Consequently ranks, refinement counts and every other
 :class:`~repro.core.types.QueryStats` counter are bit-identical between the
-two backends — the parity suite asserts exactly this.
+two backends — the parity suite asserts exactly this, and the scratch-arena
+suite additionally asserts reuse-vs-fresh identity.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Hashable, Optional
 
-from repro.traversal.int_heap import IntHeap
+from repro.traversal.arena import ScratchArena
 
 NodeId = Hashable
 Predicate = Callable[[NodeId], bool]
@@ -57,7 +69,8 @@ class CompactSDSTreeSearch:
     the caller's collector and stats in place so result assembly and
     labelling stay in one place.  All parameters are pre-resolved by the
     caller (bound activation flags instead of a ``BoundSet``, the query as
-    a node id, predicates over node ids).
+    a node id, predicates over node ids).  ``arena`` supplies the reusable
+    scratch memory; omit it to allocate a private arena for this query.
     """
 
     __slots__ = (
@@ -78,9 +91,14 @@ class CompactSDSTreeSearch:
         "_fwd_offsets",
         "_fwd_endpoints",
         "_fwd_weights",
+        "_arena",
         "_parent_bound",
         "_height_bound",
         "_lcount",
+        "_bound_stamps",
+        "_bound_epoch",
+        "_lcount_stamps",
+        "_lcount_epoch",
     )
 
     def __init__(
@@ -97,6 +115,7 @@ class CompactSDSTreeSearch:
         counted: Optional[Predicate] = None,
         candidate_mask: Optional[bytearray] = None,
         counted_mask: Optional[bytearray] = None,
+        arena: Optional[ScratchArena] = None,
     ) -> None:
         self._csr = csr
         self._query_node = query
@@ -150,30 +169,46 @@ class CompactSDSTreeSearch:
         self._fwd_offsets, self._fwd_endpoints, self._fwd_weights = csr.out_csr()
 
         num_nodes = csr.num_nodes
-        # Dense twins of the framework's per-node dicts, pre-filled with the
-        # defaults its .get() calls fall back to.
-        self._parent_bound = [0.0] * num_nodes
-        self._height_bound = [1] * num_nodes
-        self._lcount = [0] * num_nodes
+        if arena is None:
+            arena = ScratchArena(num_nodes)
+        else:
+            arena.ensure_capacity(num_nodes)
+        arena.queries_served += 1
+        self._arena = arena
+        # Epoch-guarded twins of the framework's per-node dicts: a read
+        # whose stamp is not this query's epoch yields the default the
+        # framework's .get() calls fall back to (0.0 / 1 / 0).  Parent and
+        # height are always written together, so they share one stamp
+        # table; lcount is written on a different schedule (inside
+        # refinements) and gets its own.
+        self._bound_epoch = arena.bound_stamps.advance()
+        self._bound_stamps = arena.bound_stamps.stamps
+        self._lcount_epoch = arena.lcount_stamps.advance()
+        self._lcount_stamps = arena.lcount_stamps.stamps
+        self._parent_bound = arena.parent_bound
+        self._height_bound = arena.height_bound
+        self._lcount = arena.lcount
 
     # ------------------------------------------------------------------
     # SDS-tree traversal (Dijkstra towards q over the in-adjacency rows)
     # ------------------------------------------------------------------
     def traverse(self) -> None:
         """Run the traversal, mutating the shared collector and stats."""
-        csr = self._csr
         query_index = self._query_index
         rev_offsets = self._rev_offsets
         rev_endpoints = self._rev_endpoints
         rev_weights = self._rev_weights
         parent_bound = self._parent_bound
         height_bound = self._height_bound
+        bound_stamps = self._bound_stamps
+        bound_epoch = self._bound_epoch
         counted_mask = self._counted_mask
         stats = self._stats
 
-        num_nodes = csr.num_nodes
-        heap = IntHeap(num_nodes)
-        settled = bytearray(num_nodes)
+        arena = self._arena
+        heap = arena.acquire_tree_heap()
+        settled_epoch = arena.tree_settled.advance()
+        settled = arena.tree_settled.stamps
         heap.push(query_index, 0.0)
         heap_pop = heap.pop
         heap_push_or_decrease = heap.push_or_decrease
@@ -183,7 +218,7 @@ class CompactSDSTreeSearch:
 
         while heap:
             node, distance = heap_pop()
-            settled[node] = 1
+            settled[node] = settled_epoch
             tree_pops += 1
 
             if node == query_index:
@@ -193,14 +228,19 @@ class CompactSDSTreeSearch:
                 expand_bound = process_candidate(node, distance)
                 if expand_bound is None:
                     continue
-                child_height = height_bound[node] + (
+                base_height = (
+                    height_bound[node]
+                    if bound_stamps[node] == bound_epoch
+                    else 1
+                )
+                child_height = base_height + (
                     1 if counted_mask is None or counted_mask[node] else 0
                 )
                 child_parent_bound = expand_bound
 
             for position in range(rev_offsets[node], rev_offsets[node + 1]):
                 neighbor = rev_endpoints[position]
-                if settled[neighbor]:
+                if settled[neighbor] == settled_epoch:
                     continue
                 if heap_push_or_decrease(
                     neighbor, distance + rev_weights[position]
@@ -208,6 +248,7 @@ class CompactSDSTreeSearch:
                     tree_pushes += 1
                     height_bound[neighbor] = child_height
                     parent_bound[neighbor] = child_parent_bound
+                    bound_stamps[neighbor] = bound_epoch
 
         stats.tree_pops += tree_pops
         stats.tree_pushes += tree_pushes
@@ -242,7 +283,11 @@ class CompactSDSTreeSearch:
             if lower_bound >= k_rank:
                 stats.pruned_by_bound += 1
                 return None
-            parent = self._parent_bound[node]
+            parent = (
+                self._parent_bound[node]
+                if self._bound_stamps[node] == self._bound_epoch
+                else 0.0
+            )
             return parent if parent > lower_bound else lower_bound
 
         if lower_bound >= k_rank:
@@ -266,16 +311,21 @@ class CompactSDSTreeSearch:
         """
         best = None
         winner = None
+        bound_current = self._bound_stamps[node] == self._bound_epoch
         if self._use_parent:
-            best = self._parent_bound[node]
+            best = self._parent_bound[node] if bound_current else 0.0
             winner = "parent"
         if self._height_active:
-            value = float(self._height_bound[node])
+            value = float(self._height_bound[node] if bound_current else 1)
             if best is None or value > best:
                 best = value
                 winner = "height"
         if self._count_active:
-            value = float(self._lcount[node])
+            value = float(
+                self._lcount[node]
+                if self._lcount_stamps[node] == self._lcount_epoch
+                else 0
+            )
             if best is None or value > best:
                 best = value
                 winner = "count"
@@ -306,20 +356,27 @@ class CompactSDSTreeSearch:
         fwd_weights = self._fwd_weights
         counted_mask = self._counted_mask
         lcount = self._lcount
+        lcount_stamps = self._lcount_stamps
+        lcount_epoch = self._lcount_epoch
         query_index = self._query_index
         node_at = csr.node_at
         source_id = node_at(source) if index is not None else None
 
-        num_nodes = csr.num_nodes
-        heap = IntHeap(num_nodes)
+        arena = self._arena
+        heap = arena.acquire_refine_heap()
         heap.push(source, 0.0)
         heap_pop = heap.pop
         heap_push_or_decrease = heap.push_or_decrease
-        settled = bytearray(num_nodes)
+        settled_epoch = arena.refine_settled.advance()
+        settled = arena.refine_settled.stamps
         settled_count = 0
         # Nodes already counted into lcount; a node may only cross below
         # the radius via a later decrease-key and must count exactly once.
-        notified = bytearray(num_nodes) if self._count_active else None
+        if self._count_active:
+            notified_epoch = arena.refine_notified.advance()
+            notified = arena.refine_notified.stamps
+        else:
+            notified = None
 
         closer_counted = 0
         tie_counted = 0
@@ -328,7 +385,7 @@ class CompactSDSTreeSearch:
 
         while heap:
             node, distance = heap_pop()
-            settled[node] = 1
+            settled[node] = settled_epoch
             settled_count += 1
 
             if node != source:
@@ -350,20 +407,24 @@ class CompactSDSTreeSearch:
             if notified is None:
                 for position in range(fwd_offsets[node], fwd_offsets[node + 1]):
                     neighbor = fwd_endpoints[position]
-                    if not settled[neighbor]:
+                    if settled[neighbor] != settled_epoch:
                         heap_push_or_decrease(
                             neighbor, distance + fwd_weights[position]
                         )
             else:
                 for position in range(fwd_offsets[node], fwd_offsets[node + 1]):
                     neighbor = fwd_endpoints[position]
-                    if settled[neighbor]:
+                    if settled[neighbor] == settled_epoch:
                         continue
                     candidate = distance + fwd_weights[position]
                     heap_push_or_decrease(neighbor, candidate)
-                    if candidate < radius and not notified[neighbor]:
-                        notified[neighbor] = 1
-                        lcount[neighbor] += 1
+                    if candidate < radius and notified[neighbor] != notified_epoch:
+                        notified[neighbor] = notified_epoch
+                        if lcount_stamps[neighbor] == lcount_epoch:
+                            lcount[neighbor] += 1
+                        else:
+                            lcount[neighbor] = 1
+                            lcount_stamps[neighbor] = lcount_epoch
 
         settled_excluding_source = settled_count - 1
         stats.refinement_nodes_settled += settled_excluding_source

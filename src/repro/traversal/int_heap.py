@@ -178,11 +178,28 @@ class IntHeap:
         return True
 
     def clear(self) -> None:
-        """Remove every key (resets only the touched position slots)."""
+        """Remove every key (resets only the touched position slots).
+
+        The insertion counter deliberately keeps counting: tie-breaking
+        only ever compares entries of the same search, where relative
+        insertion order is what matters, so a cleared-and-reused heap
+        pops in exactly the order a fresh one would.
+        """
         positions = self._positions
         for entry in self._entries:
             positions[entry[2]] = -1
         self._entries.clear()
+
+    def grow(self, capacity: int) -> None:
+        """Raise the exclusive key bound (for scratch-arena reuse).
+
+        Existing entries and position slots are untouched; new keys
+        start absent.  Shrinking is not supported — a smaller capacity
+        is simply ignored, matching the arena's grow-only contract.
+        """
+        if capacity > self._capacity:
+            self._positions.extend([-1] * (capacity - self._capacity))
+            self._capacity = capacity
 
     # ------------------------------------------------------------------
     # Heap maintenance (hole-based sifting; compares (priority, counter))
