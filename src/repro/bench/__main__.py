@@ -20,6 +20,17 @@ default one, with hub indexes cached on disk between runs::
 
     python -m repro.bench --scale default,large --index-cache .bench-index-cache
 
+The huge-scale tier — road-network-like lattices in the 10^4–10^5-node
+range, sampled naive baseline, ``"auto"`` hub budgets, and (with a
+workers axis) shared-memory graph transport into the workers::
+
+    python -m repro.bench --scale huge --workers 1,2
+
+A real dataset file (SNAP/KONECT edge list, DIMACS ``.gr`` or repro
+JSON; format auto-detected) instead of the synthetic suite::
+
+    python -m repro.bench --dataset roadNet-PA.txt --workers 1,2
+
 The worker-process scaling axis: time every algorithm in-process *and*
 through a 2-worker shard pool (extra rows keyed ``name@w2``, each checked
 rank-identical against its sequential reference)::
@@ -44,8 +55,8 @@ from repro.bench.report import (
     render_table,
     write_report,
 )
-from repro.bench.workloads import WORKLOAD_FAMILIES, build_suite
-from repro.errors import CrossValidationError, WorkloadError
+from repro.bench.workloads import WORKLOAD_FAMILIES, build_suite, dataset_workload
+from repro.errors import CrossValidationError, DatasetError, WorkloadError
 
 
 def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
@@ -66,10 +77,26 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         "--scale",
         default=None,
         help=(
-            "workload scale(s): smoke, default, large, or a comma-separated "
-            "combination like default,large (default: default; overrides "
-            "--smoke when both are given)"
+            "workload scale(s): smoke, default, large, huge, or a "
+            "comma-separated combination like default,large (default: "
+            "default; overrides --smoke when both are given)"
         ),
+    )
+    parser.add_argument(
+        "--dataset",
+        default=None,
+        metavar="PATH",
+        help=(
+            "benchmark a real dataset file instead of the synthetic suite: "
+            "a SNAP/KONECT edge list, DIMACS .gr or repro JSON document "
+            "(format auto-detected; large graphs get a sampled naive "
+            "baseline and 'auto' hub budgets)"
+        ),
+    )
+    parser.add_argument(
+        "--directed",
+        action="store_true",
+        help="with --dataset: interpret the dataset's edges as directed",
     )
     parser.add_argument(
         "--index-cache",
@@ -188,7 +215,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     progress = None if args.quiet else (lambda line: print(line, flush=True))
 
     try:
-        workloads = build_suite(families=families, scale=scale, seed=args.seed)
+        if args.dataset is not None:
+            workloads = [
+                dataset_workload(
+                    args.dataset, directed=args.directed, seed=args.seed
+                )
+            ]
+        else:
+            workloads = build_suite(
+                families=families, scale=scale, seed=args.seed
+            )
         results = run_suite(
             workloads,
             repetitions=repetitions,
@@ -201,17 +237,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             stats_mode=args.stats,
             progress=progress,
         )
-    except WorkloadError as exc:
+    except (WorkloadError, DatasetError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except CrossValidationError as exc:
         print(f"CROSS-VALIDATION FAILURE: {exc}", file=sys.stderr)
         return 1
 
+    config_extra = (
+        {"dataset": args.dataset, "directed": args.directed}
+        if args.dataset is not None
+        else {}
+    )
     report = build_report(
         results,
         config={
-            "scale": scale,
+            "scale": scale if args.dataset is None else "dataset",
+            **config_extra,
             "repetitions": repetitions,
             "warmup": warmup,
             "seed": args.seed,

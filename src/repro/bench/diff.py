@@ -8,8 +8,9 @@ old vs new timings.  The exit status is non-zero when
   relative to the *old* report (``--tolerance``, default 0.25 = fail above
   a 1.25x slowdown; use ``--tolerance 1.0`` to fail only above 2x), or
 * any non-skipped algorithm in the *new* report is **not validated**, any
-  workload carries ``backend_consistent: false`` or
-  ``parallel_consistent: false``, or an algorithm the old
+  workload carries ``backend_consistent: false``,
+  ``parallel_consistent: false`` or ``parallel_index_consistent: false``,
+  or an algorithm the old
   report validated is *skipped* in the new one — a correctness
   disagreement (or the harness silently ceasing to run a gated
   algorithm) must never look like a pass.  The harness aborts (exit
@@ -124,6 +125,12 @@ def compare_reports(
             if parallel is False:
                 failures.append(
                     f"{name}: parallel_consistent is false in the new report"
+                )
+            parallel_index = new_workloads[name].get("parallel_index_consistent")
+            if parallel_index is False:
+                failures.append(
+                    f"{name}: parallel_index_consistent is false in the "
+                    "new report"
                 )
 
         for algorithm in list(old_algorithms) + [

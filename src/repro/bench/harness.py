@@ -27,6 +27,14 @@ With ``index_cache`` set, the indexed algorithm first tries
 :meth:`~repro.core.hub_index.HubIndex.load` from that directory and falls
 back to building (then :meth:`~repro.core.hub_index.HubIndex.save`-ing) on
 a miss, so repeated runs — and restarted servers — start warm.
+
+Parallel rows (``name@wN``) additionally record how the workers received
+the graph — ``graph_shared`` (mapped the shared-memory CSR segment vs
+unpickled a private copy) and ``startup_payload_bytes`` (the pickled
+init payload, near-constant under the shared transport) — and runs that
+both build an index and have a parallel pass verify that a pool-built
+index is *bit-identical* to the sequential build
+(``parallel_index_consistent``).
 """
 
 from __future__ import annotations
@@ -98,6 +106,17 @@ class AlgorithmTiming:
     #: Parallel rows only: flat result-payload bytes per query that crossed
     #: the process boundary in one batch (reported by the shard codec).
     ipc_bytes_per_query: Optional[float] = None
+    #: Parallel rows only: whether the workers attached the graph via the
+    #: shared-memory segment (``True``) or fell back to unpickling a
+    #: private copy (``False``).
+    graph_shared: Optional[bool] = None
+    #: Parallel rows only: bytes of the pickled worker-startup payload
+    #: (facilities + hub-index snapshot + graph).  Under the shared-graph
+    #: transport the graph contributes a fixed ~200-byte segment handle
+    #: instead of its full pickle, so on index-free workloads this is
+    #: near-constant in ``|V|``; with an index built it is dominated by
+    #: the index snapshot.
+    startup_payload_bytes: Optional[int] = None
 
     @property
     def mean_seconds(self) -> Optional[float]:
@@ -135,6 +154,10 @@ class AlgorithmTiming:
             payload["speedup_vs_serial"] = self.speedup_vs_serial
         if self.ipc_bytes_per_query is not None:
             payload["ipc_bytes_per_query"] = self.ipc_bytes_per_query
+        if self.graph_shared is not None:
+            payload["graph_shared"] = self.graph_shared
+        if self.startup_payload_bytes is not None:
+            payload["startup_payload_bytes"] = self.startup_payload_bytes
         if self.index_build_seconds is not None:
             payload["index_build_seconds"] = self.index_build_seconds
         if self.skipped is not None:
@@ -158,6 +181,10 @@ class WorkloadResult:
     #: ``True`` when every parallel batch reproduced its sequential
     #: reference (rank-identical); ``None`` when no parallel pass ran.
     parallel_consistent: Optional[bool] = None
+    #: ``True`` when a pool-built hub index was byte-identical (pickled
+    #: exported state) to the sequentially built one; ``None`` when the
+    #: run had no parallel pass, no indexed row, or loaded from cache.
+    parallel_index_consistent: Optional[bool] = None
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready view."""
@@ -166,6 +193,8 @@ class WorkloadResult:
         payload["backend_consistent"] = self.backend_consistent
         if self.parallel_consistent is not None:
             payload["parallel_consistent"] = self.parallel_consistent
+        if self.parallel_index_consistent is not None:
+            payload["parallel_index_consistent"] = self.parallel_index_consistent
         payload["algorithms"] = {
             name: timing.as_dict(len(self.workload.queries))
             for name, timing in self.algorithms.items()
@@ -486,14 +515,18 @@ def run_workload(
 
                 if kind is AlgorithmKind.INDEXED and engine.index is None:
                     _prepare_index(
-                        workload, engine, timing, num_hubs, index_cache, use_csr
+                        workload, engine, timing, num_hubs, index_cache,
+                        use_csr, result=result, workers_axis=workers_axis,
+                        worker_context=worker_context,
                     )
 
                 run_kwargs = dict(use_csr=use_csr)
                 if num_workers > 1:
                     # Pool startup (spawn can take seconds) happens here,
                     # outside warmup and the timed repetitions.
-                    engine.prepare_parallel(num_workers, worker_context)
+                    pool = engine.prepare_parallel(num_workers, worker_context)
+                    timing.graph_shared = pool.uses_shared_graph
+                    timing.startup_payload_bytes = pool.startup_payload_bytes
                     run_kwargs.update(
                         workers=num_workers, worker_context=worker_context,
                         stats=stats_mode,
@@ -633,11 +666,23 @@ def _prepare_index(
     num_hubs: Optional[int],
     index_cache: Optional[object],
     use_csr: bool = True,
+    result: Optional[WorkloadResult] = None,
+    workers_axis: Optional[List[int]] = None,
+    worker_context: Optional[str] = None,
 ) -> None:
     """Build — or load from ``index_cache`` — the engine's hub index.
 
     ``use_csr`` is threaded into the build so a ``--no-csr`` run measures
     the dict backend's index construction too, not a hidden CSR one.
+
+    When the run has a parallel pass (``workers_axis`` contains a value
+    above 1) and the index is actually *built* (not a cache hit), a twin
+    engine additionally builds the same index through the sharded worker
+    pool and the two exported states are compared byte-for-byte — the
+    ``parallel_index_consistent`` flag of the report.  A mismatch raises
+    :class:`~repro.errors.CrossValidationError`: merge-order bugs in the
+    delta machinery must fail the bench, not silently ship a different
+    index.
     """
     build_kwargs = dict(workload.index_params)
     if num_hubs is not None:
@@ -675,6 +720,31 @@ def _prepare_index(
         cache_path.parent.mkdir(parents=True, exist_ok=True)
         index.save(cache_path)
         timing.index_cache = "miss"
+
+    parallel_workers = max(
+        (value for value in (workers_axis or []) if value > 1), default=None
+    )
+    if parallel_workers is not None and use_csr and result is not None:
+        twin = ReverseKRanksEngine(workload.graph)
+        try:
+            parallel_index = twin.build_index(
+                capacity=capacity,
+                use_csr=True,
+                workers=parallel_workers,
+                worker_context=worker_context,
+                **build_kwargs,
+            )
+        finally:
+            twin.close_pool()
+        if pickle.dumps(parallel_index.export_state()) != pickle.dumps(
+            index.export_state()
+        ):
+            raise CrossValidationError(
+                f"hub index built through {parallel_workers} workers is not "
+                f"bit-identical to the sequential build on workload "
+                f"{workload.name!r}"
+            )
+        result.parallel_index_consistent = True
 
 
 def run_suite(

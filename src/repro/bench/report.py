@@ -47,11 +47,19 @@ for parallel rows, keyed ``name@wN`` — the direct process-scaling factor
 row's) plus ``ipc_bytes_per_query``, the flat result-payload bytes per
 query that crossed the process boundary in one batch (reported by the
 shard result codec; shrinks under ``--stats aggregate`` / ``none``,
-which the config records as ``stats``).  Workloads that ran a parallel
+which the config records as ``stats``).  Parallel rows also carry the
+graph-transport facts: ``graph_shared`` (``true`` when the workers
+mapped the shared-memory CSR segment instead of unpickling a private
+graph copy) and ``startup_payload_bytes`` (the pickled worker init
+payload — under the shared transport the graph contributes a fixed
+~200-byte handle instead of its full pickle; an adopted hub index's
+snapshot still travels by value).  Workloads that ran a parallel
 pass additionally carry ``parallel_consistent``: ``true`` iff every
-parallel batch was rank-identical to its sequential reference.  All
-additions are backwards-compatible optional fields, so the schema
-version stays 1.
+parallel batch was rank-identical to its sequential reference; when the
+run also *built* a hub index (no cache hit), ``parallel_index_consistent``
+records that a pool-built index exported byte-identical state to the
+sequential build.  All additions are backwards-compatible optional
+fields, so the schema version stays 1.
 """
 
 from __future__ import annotations

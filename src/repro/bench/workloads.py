@@ -2,7 +2,7 @@
 
 A *workload* bundles a synthetic graph, a deterministic set of query nodes
 and a result size ``k`` — everything :func:`repro.bench.harness.run_workload`
-needs to time the four algorithms against each other.  Five graph families
+needs to time the four algorithms against each other.  Six graph families
 mirror the shapes the paper's experiments stress:
 
 * ``path``        — the worst case for rank locality (long chains);
@@ -11,7 +11,10 @@ mirror the shapes the paper's experiments stress:
 * ``powerlaw``    — preferential attachment (hub-heavy degree sequence),
   the regime the hub index is designed for;
 * ``bichromatic`` — a G(n, p) with a facility/community split
-  (Definitions 3-4), queried from facility nodes.
+  (Definitions 3-4), queried from facility nodes;
+* ``lattice``     — a road-network-like grid with sparse diagonal
+  shortcuts and low weight variance, the shape of the huge-scale tier
+  (real road networks load via :func:`dataset_workload`).
 
 Every generator is parametric in size and fully determined by an explicit
 ``seed`` (stdlib :mod:`random` only), so runs are reproducible and the
@@ -22,10 +25,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.errors import WorkloadError
 from repro.graph import BichromaticPartition, Graph
+from repro.graph.io import load_dataset
 
 __all__ = [
     "Workload",
@@ -34,11 +39,14 @@ __all__ = [
     "gnp_workload",
     "powerlaw_workload",
     "bichromatic_workload",
+    "lattice_workload",
+    "dataset_workload",
     "WORKLOAD_FAMILIES",
     "build_suite",
     "smoke_suite",
     "default_suite",
     "large_suite",
+    "huge_suite",
 ]
 
 
@@ -270,6 +278,116 @@ def powerlaw_workload(
     )
 
 
+def lattice_workload(
+    side: int = 32,
+    diagonal_fraction: float = 0.08,
+    seed: int = 0,
+    num_queries: int = 2,
+    k: int = 16,
+    naive_sample: Optional[int] = None,
+    index_params: Optional[Dict[str, object]] = None,
+) -> Workload:
+    """A road-network-like lattice: a grid plus sparse diagonal shortcuts.
+
+    Road networks are near-planar with bounded degree, low edge-weight
+    variance (road segments differ by length, not by orders of magnitude)
+    and occasional diagonal connectors.  This generator mimics that shape:
+    a ``side``×``side`` grid whose edges weigh ``[1, 2)`` plus a
+    ``diagonal_fraction`` of cells gaining a slightly costlier diagonal.
+    It is the synthetic stand-in of the ``huge`` scale tier — at
+    ``side=320`` it reaches the 10\\ :sup:`5`-node regime the
+    shared-memory worker transport and the ``"auto"`` hub budget exist
+    for — while real SNAP/DIMACS road networks load through
+    :func:`dataset_workload`.
+    """
+    if side < 2:
+        raise WorkloadError("lattice workload needs side >= 2")
+    if not 0.0 <= diagonal_fraction <= 1.0:
+        raise WorkloadError(
+            f"diagonal_fraction must be in [0, 1], got {diagonal_fraction!r}"
+        )
+    rng = random.Random(seed)
+    graph = Graph(name=f"lattice-{side}x{side}")
+    for row in range(side):
+        for col in range(side):
+            node = row * side + col
+            if col + 1 < side:
+                graph.add_edge(node, node + 1, round(rng.uniform(1.0, 2.0), 2))
+            if row + 1 < side:
+                graph.add_edge(node, node + side, round(rng.uniform(1.0, 2.0), 2))
+            if (
+                col + 1 < side
+                and row + 1 < side
+                and rng.random() < diagonal_fraction
+            ):
+                # A diagonal connector, costlier than either leg alone but
+                # cheaper than the two-leg detour (~sqrt(2) of a leg).
+                graph.add_edge(
+                    node, node + side + 1, round(rng.uniform(1.4, 2.8), 2)
+                )
+    return Workload(
+        name=f"lattice-{side}x{side}",
+        family="lattice",
+        graph=graph,
+        queries=_sample_queries(rng, graph.nodes(), num_queries, "lattice"),
+        k=_check_k(k, side * side - 1, "lattice"),
+        seed=seed,
+        params={"side": side, "diagonal_fraction": diagonal_fraction},
+        naive_sample=naive_sample,
+        index_params=dict(index_params or {}),
+    )
+
+
+def dataset_workload(
+    path: Union[str, Path],
+    directed: bool = False,
+    num_queries: int = 4,
+    k: int = 16,
+    seed: int = 0,
+    naive_sample: Optional[int] = None,
+    index_params: Optional[Dict[str, object]] = None,
+) -> Workload:
+    """Wrap a real dataset file (edge list, DIMACS ``.gr`` or JSON) as a workload.
+
+    The graph loads through :func:`repro.graph.io.load_dataset` (format
+    auto-detected), queries are sampled deterministically from ``seed``,
+    and the scale knobs default by graph size: beyond
+    ``_SAMPLED_NAIVE_THRESHOLD`` nodes the naive baseline is sampled
+    (24 candidates) and the hub index uses the ``"auto"`` budget — the
+    same treatment the synthetic large/huge presets get.  Pass explicit
+    ``naive_sample`` / ``index_params`` to override.  This is the
+    function behind the bench CLI's ``--dataset`` flag.
+    """
+    path = Path(path)
+    graph = load_dataset(path, directed=directed)
+    if graph.num_nodes < 2:
+        raise WorkloadError(f"dataset {path} holds fewer than 2 nodes")
+    rng = random.Random(seed)
+    if naive_sample is None and graph.num_nodes > _SAMPLED_NAIVE_THRESHOLD:
+        naive_sample = 24
+    if index_params is None and graph.num_nodes > _SAMPLED_NAIVE_THRESHOLD:
+        index_params = {"num_hubs": "auto", "explore_limit": "auto"}
+    return Workload(
+        name=f"dataset-{path.stem}",
+        family="dataset",
+        graph=graph,
+        queries=_sample_queries(rng, graph.nodes(), num_queries, "dataset"),
+        k=_check_k(k, graph.num_nodes - 1, "dataset"),
+        seed=seed,
+        params={
+            "path": str(path),
+            "directed": directed,
+        },
+        naive_sample=naive_sample,
+        index_params=dict(index_params or {}),
+    )
+
+
+#: Node count above which :func:`dataset_workload` defaults to a sampled
+#: naive baseline and the ``"auto"`` hub budget.
+_SAMPLED_NAIVE_THRESHOLD = 512
+
+
 def bichromatic_workload(
     num_nodes: int = 72,
     avg_degree: float = 6.0,
@@ -308,13 +426,16 @@ def bichromatic_workload(
     )
 
 
-#: Family name -> generator, for CLI ``--families`` selection.
+#: Family name -> generator, for CLI ``--families`` selection.  The
+#: ``dataset`` family is deliberately absent: it needs a file path, so it
+#: is reachable only through ``--dataset`` / :func:`dataset_workload`.
 WORKLOAD_FAMILIES: Dict[str, Callable[..., Workload]] = {
     "path": path_workload,
     "grid": grid_workload,
     "gnp": gnp_workload,
     "powerlaw": powerlaw_workload,
     "bichromatic": bichromatic_workload,
+    "lattice": lattice_workload,
 }
 
 #: Per-family size parameters for the built-in scales.  The ``large`` scale
@@ -322,9 +443,17 @@ WORKLOAD_FAMILIES: Dict[str, Callable[..., Workload]] = {
 #: refinement loops ran array-specialised on the CSR backend; its naive
 #: baseline is *sampled* (``naive_sample`` candidates, timing extrapolated)
 #: because exhaustive brute force at that size runs for hours, and its
-#: hub-index builds are bounded via ``index_params``.  The bichromatic
-#: family has no large preset yet: it needs the facility-count Reverse Rank
-#: Dictionary (see ROADMAP) before an indexed row exists to justify one.
+#: hub-index builds resolve the scale-aware ``"auto"`` budget
+#: (:func:`repro.core.hubs.hub_budget`) instead of a fixed hub count that
+#: cannot serve every size.  The ``huge`` scale (n in the 10\ :sup:`4`–
+#: 10\ :sup:`5` range) is lattice-only — the road-network shape is what
+#: that tier models, and it is where the shared-memory graph transport
+#: pays off: workers *map* the frozen CSR buffers instead of unpickling a
+#: private copy.  The bichromatic family has no large preset yet: it needs
+#: the facility-count Reverse Rank Dictionary (see ROADMAP) before an
+#: indexed row exists to justify one.
+_AUTO_INDEX = {"num_hubs": "auto", "explore_limit": "auto"}
+
 _SCALES: Dict[str, Dict[str, Dict[str, object]]] = {
     "smoke": {
         "path": {"num_nodes": 24, "num_queries": 2, "k": 3},
@@ -332,6 +461,7 @@ _SCALES: Dict[str, Dict[str, Dict[str, object]]] = {
         "gnp": {"num_nodes": 30, "num_queries": 2, "k": 3},
         "powerlaw": {"num_nodes": 30, "num_queries": 2, "k": 3},
         "bichromatic": {"num_nodes": 28, "num_queries": 2, "k": 3},
+        "lattice": {"side": 5, "num_queries": 2, "k": 3},
     },
     "default": {
         "path": {"num_nodes": 96, "num_queries": 4, "k": 8},
@@ -339,6 +469,7 @@ _SCALES: Dict[str, Dict[str, Dict[str, object]]] = {
         "gnp": {"num_nodes": 120, "num_queries": 4, "k": 8},
         "powerlaw": {"num_nodes": 120, "num_queries": 4, "k": 8},
         "bichromatic": {"num_nodes": 90, "num_queries": 4, "k": 8},
+        "lattice": {"side": 11, "num_queries": 4, "k": 8},
     },
     "large": {
         "path": {
@@ -346,14 +477,14 @@ _SCALES: Dict[str, Dict[str, Dict[str, object]]] = {
             "num_queries": 3,
             "k": 16,
             "naive_sample": 48,
-            "index_params": {"num_hubs": 64, "explore_limit": 600},
+            "index_params": dict(_AUTO_INDEX),
         },
         "grid": {
             "side": 45,
             "num_queries": 3,
             "k": 16,
             "naive_sample": 48,
-            "index_params": {"num_hubs": 64, "explore_limit": 600},
+            "index_params": dict(_AUTO_INDEX),
         },
         "gnp": {
             "num_nodes": 2500,
@@ -361,7 +492,7 @@ _SCALES: Dict[str, Dict[str, Dict[str, object]]] = {
             "num_queries": 3,
             "k": 16,
             "naive_sample": 48,
-            "index_params": {"num_hubs": 64, "explore_limit": 600},
+            "index_params": dict(_AUTO_INDEX),
         },
         "powerlaw": {
             "num_nodes": 2500,
@@ -369,7 +500,16 @@ _SCALES: Dict[str, Dict[str, Dict[str, object]]] = {
             "num_queries": 3,
             "k": 16,
             "naive_sample": 48,
-            "index_params": {"num_hubs": 64, "explore_limit": 600},
+            "index_params": dict(_AUTO_INDEX),
+        },
+    },
+    "huge": {
+        "lattice": {
+            "side": 320,
+            "num_queries": 2,
+            "k": 16,
+            "naive_sample": 12,
+            "index_params": dict(_AUTO_INDEX),
         },
     },
 }
@@ -434,3 +574,8 @@ def default_suite(seed: int = 0) -> List[Workload]:
 def large_suite(seed: int = 0) -> List[Workload]:
     """The thousands-of-nodes suite (sampled naive baseline)."""
     return build_suite(scale="large", seed=seed)
+
+
+def huge_suite(seed: int = 0) -> List[Workload]:
+    """The huge-scale tier: road-network-like lattices, ``"auto"`` budgets."""
+    return build_suite(scale="huge", seed=seed)

@@ -1,11 +1,41 @@
-"""Algorithm configuration: bound sets and algorithm identifiers."""
+"""Algorithm configuration: bound sets, algorithm identifiers, hub budgets."""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
 
-__all__ = ["BoundSet", "AlgorithmKind"]
+__all__ = ["BoundSet", "AlgorithmKind", "HubBudgetPolicy", "DEFAULT_HUB_BUDGET"]
+
+
+@dataclass(frozen=True)
+class HubBudgetPolicy:
+    """Scale-aware defaults for the hub index's ``(H, M)`` parameters.
+
+    A fixed ``num_hubs`` cannot serve both a 400-node bench grid and a
+    10\\ :sup:`5`-node road lattice: the paper's ``H``·``M`` product is the
+    index's total exploration work, and the useful operating point grows
+    with ``n``.  The policy fixes the *total* settled-node budget at
+    ``work_factor * n`` (linear in graph size, like one full Dijkstra
+    sweep amortised over the hub set) and splits it as
+
+    * ``H = clamp(round((work_factor * n) ** (1/3)), min_hubs, n)`` —
+      sub-linear hub growth, so the per-query seeding scan over hub
+      entries stays cheap at scale;
+    * ``M = clamp(round(work_factor * n / H), min_explore, n)`` — each
+      hub explores a genuinely useful neighbourhood even on huge graphs.
+
+    Instances are frozen so a policy can be shared as a module default;
+    :func:`repro.core.hubs.hub_budget` evaluates one.
+    """
+
+    work_factor: float = 8.0
+    min_hubs: int = 4
+    min_explore: int = 32
+
+
+#: The policy behind ``num_hubs="auto"`` / ``explore_limit="auto"``.
+DEFAULT_HUB_BUDGET = HubBudgetPolicy()
 
 
 @dataclass(frozen=True)

@@ -199,23 +199,63 @@ class ReverseKRanksEngine:
     # ------------------------------------------------------------------
     def build_index(
         self,
-        num_hubs: Optional[int] = None,
-        explore_limit: Optional[int] = None,
+        num_hubs: Union[int, str, None] = None,
+        explore_limit: Union[int, str, None] = None,
         capacity: int = 16,
         strategy: Union[HubSelectionStrategy, str] = HubSelectionStrategy.DEGREE,
         rng: Optional[random.Random] = None,
         use_csr: bool = True,
+        workers: int = 1,
+        worker_context: Optional[str] = None,
     ) -> HubIndex:
         """Build (and adopt) a hub index for the indexed algorithm.
 
         With ``use_csr`` (the default) the hub explorations run over the
         engine's cached CSR compilation — the index itself stays bound to
         the dict graph and records identical ranks either way.
+        ``num_hubs``/``explore_limit`` accept ``"auto"`` to resolve the
+        scale-aware :func:`~repro.core.hubs.hub_budget`.
+
+        With ``workers > 1`` the hub explorations — the build's entire
+        cost — are sharded over the engine's persistent worker pool
+        (:meth:`HubIndex.build_parallel`), each worker exploring a
+        contiguous hub run on its own shared-memory mapping (or pickled
+        copy) of the compilation.  The merged index is bit-identical to
+        the sequential CSR-backed build.  Requires ``use_csr=True``; the
+        pool is reused by subsequent ``query_many(workers=N)`` calls with
+        a matching key (the new index is snapshotted into the workers on
+        their next parallel batch).
         """
         if self._partition is not None:
             raise IndexParameterError(
                 "cannot build a hub index on a bichromatic engine"
             )
+        if not is_positive_int(workers):
+            raise ParallelExecutionError(
+                f"workers must be a positive integer, got {workers!r}"
+            )
+        if workers > 1:
+            if not use_csr:
+                raise ParallelExecutionError(
+                    "parallel index builds run on the workers' CSR "
+                    "compilations; use_csr=False and workers > 1 are "
+                    "incompatible"
+                )
+            pool = self._ensure_pool(workers, worker_context)
+            try:
+                self._index = HubIndex.build_parallel(
+                    self._graph,
+                    pool,
+                    num_hubs=num_hubs,
+                    explore_limit=explore_limit,
+                    capacity=capacity,
+                    strategy=strategy,
+                    rng=rng,
+                )
+            except WorkerCrashError:
+                self.close_pool()
+                raise
+            return self._index
         self._index = HubIndex.build(
             self._graph,
             num_hubs=num_hubs,
@@ -320,8 +360,10 @@ class ReverseKRanksEngine:
         workers:
             With ``workers > 1``, the batch is sharded across that many
             persistent worker processes (see :mod:`repro.parallel`): each
-            worker holds a pickled copy of the CSR compilation (and a
-            snapshot of the hub index, when one is set), results come back
+            worker maps the CSR compilation from shared memory (falling
+            back to a pickled private copy where shared memory is
+            unavailable; holds a snapshot of the hub index, when one is
+            set), results come back
             in input order, and everything indexed queries *learn* in the
             workers is merged back into this engine's master index
             (:meth:`~repro.core.hub_index.HubIndex.merge_delta`).  The

@@ -33,13 +33,15 @@ enforces this.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 import random
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
-from repro.core.hubs import HubSelectionStrategy, select_hubs
+from repro.core.hubs import HubSelectionStrategy, hub_budget, select_hubs
 from repro.errors import IndexCapacityError, IndexParameterError, NodeNotFoundError
 from repro.graph.csr import ensure_backend_fresh
 from repro.traversal.rank import rank_stream
@@ -165,8 +167,8 @@ class HubIndex:
     def build(
         cls,
         graph,
-        num_hubs: Optional[int] = None,
-        explore_limit: Optional[int] = None,
+        num_hubs: Union[int, str, None] = None,
+        explore_limit: Union[int, str, None] = None,
         capacity: int = 16,
         strategy: Union[HubSelectionStrategy, str] = HubSelectionStrategy.DEGREE,
         hubs=None,
@@ -178,11 +180,15 @@ class HubIndex:
         Parameters
         ----------
         num_hubs:
-            The paper's ``H``; defaults to ``max(1, |V| // 8)``.  Ignored
-            when ``hubs`` is given explicitly.
+            The paper's ``H``; defaults to ``max(1, |V| // 8)``.  The
+            string ``"auto"`` resolves through
+            :func:`~repro.core.hubs.hub_budget` to a hub count that grows
+            sub-linearly with the graph (the huge-scale default).
+            Ignored when ``hubs`` is given explicitly.
         explore_limit:
             The paper's ``M``: how many nodes each hub exploration settles.
-            Defaults to the whole graph (exact on small graphs).
+            Defaults to the whole graph (exact on small graphs); ``"auto"``
+            resolves through :func:`~repro.core.hubs.hub_budget`.
         capacity:
             The paper's ``K`` (largest supported query ``k``).
         strategy:
@@ -199,6 +205,9 @@ class HubIndex:
             ``explore_limit`` the identity of nodes inside the boundary tie
             group may differ between backends.
         """
+        num_hubs, explore_limit = cls._resolve_budget(
+            graph, num_hubs, explore_limit
+        )
         if hubs is None:
             if num_hubs is None:
                 num_hubs = max(1, graph.num_nodes // 8)
@@ -217,6 +226,67 @@ class HubIndex:
         search_graph = graph if backend is None else backend
         for hub in index._hubs:
             index._explore_hub(hub, limit, search_graph)
+        return index
+
+    @staticmethod
+    def _resolve_budget(graph, num_hubs, explore_limit):
+        """Resolve ``"auto"`` hub-budget markers against the graph size."""
+        if num_hubs == "auto" or explore_limit == "auto":
+            auto_hubs, auto_explore = hub_budget(graph.num_nodes)
+            if num_hubs == "auto":
+                num_hubs = auto_hubs
+            if explore_limit == "auto":
+                explore_limit = auto_explore
+        return num_hubs, explore_limit
+
+    @classmethod
+    def build_parallel(
+        cls,
+        graph,
+        pool,
+        num_hubs: Union[int, str, None] = None,
+        explore_limit: Union[int, str, None] = None,
+        capacity: int = 16,
+        strategy: Union[HubSelectionStrategy, str] = HubSelectionStrategy.DEGREE,
+        hubs=None,
+        rng: Optional[random.Random] = None,
+    ) -> "HubIndex":
+        """Build an index by sharding the hub explorations over ``pool``.
+
+        Hub *selection* stays in the parent (it is cheap and must see the
+        canonical graph); the per-hub explorations — the build's entire
+        cost — run on a :class:`~repro.parallel.pool.WorkerPool` via
+        :meth:`~repro.parallel.pool.WorkerPool.run_hub_build`, each worker
+        exploring a contiguous run of hubs on its own mapped/copied
+        compilation and shipping back a :class:`HubIndexDelta`.
+
+        The result is **bit-identical** to ``build(graph, ...,
+        backend=compilation)``: different hubs record disjoint
+        ``(hub, target)`` rank keys, each worker explores its hubs in
+        order on a digest-identical compilation (so every
+        ``rank_stream`` settles the same nodes in the same order), and
+        merging the chunk deltas in hub order replays the sequential
+        build's exact ``record_rank``/``record_exploration`` call
+        sequence — same values *and* same dictionary insertion orders.
+
+        ``pool`` must have been built over a fresh compilation of
+        ``graph`` without an index snapshot (the usual build-time state).
+        """
+        num_hubs, explore_limit = cls._resolve_budget(
+            graph, num_hubs, explore_limit
+        )
+        if hubs is None:
+            if num_hubs is None:
+                num_hubs = max(1, graph.num_nodes // 8)
+            hubs = select_hubs(graph, num_hubs, strategy=strategy, rng=rng)
+        index = cls(graph, capacity, hubs)
+        limit = graph.num_nodes if explore_limit is None else explore_limit
+        if limit <= 0:
+            raise IndexParameterError(
+                f"explore_limit M must be a positive integer, got {explore_limit!r}"
+            )
+        for delta in pool.run_hub_build(index._hubs, limit, capacity):
+            index.merge_delta(delta)
         return index
 
     def _explore_hub(self, hub: NodeId, limit: int, search_graph=None) -> None:
@@ -253,6 +323,14 @@ class HubIndex:
            prefix keeps *accidental* non-index files away from the
            unpickler; it is not a security boundary.
 
+        The write is **atomic**: the payload goes to a temp file in the
+        target's directory, is flushed and fsynced, and only then renamed
+        over ``path`` with :func:`os.replace`.  A crash, full disk or
+        kill -9 mid-save therefore leaves either the previous index file
+        intact or no file — never a truncated file whose valid magic
+        prefix would usher garbage into the unpickler.  (Same-directory
+        matters: :func:`os.replace` is only atomic within a filesystem.)
+
         Raises
         ------
         IndexParameterError
@@ -278,9 +356,26 @@ class HubIndex:
             "explored": self._explored,
         }
         target = Path(path)
-        with open(target, "wb") as handle:
-            handle.write(_IO_MAGIC)
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(target.parent) or ".",
+            prefix=f".{target.name}.",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(_IO_MAGIC)
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, target)
+        except BaseException:
+            # A failed save must never clobber a previously-good index
+            # file — the target is untouched; just reap the temp file.
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
         return target
 
     @classmethod
@@ -294,7 +389,10 @@ class HubIndex:
         Raises
         ------
         IndexParameterError
-            When the file is not a hub-index payload, was written by an
+            When the file is not a hub-index payload, is truncated or
+            corrupted after a valid magic prefix (a partially-written
+            file from a pre-atomic-save crash must fail *typed*, not as a
+            raw ``UnpicklingError``/``EOFError``), was written by an
             incompatible I/O version, or describes a different graph — a
             mismatched structural fingerprint, mutation version or
             adjacency digest would silently serve wrong ranks.
@@ -305,7 +403,19 @@ class HubIndex:
                 raise IndexParameterError(
                     f"{path!s} is not a serialised hub index"
                 )
-            payload = pickle.load(handle)
+            try:
+                payload = pickle.load(handle)
+            except Exception as exc:
+                # EOFError/UnpicklingError/AttributeError/...: anything
+                # the unpickler throws at a half-written or bit-rotted
+                # payload surfaces as the domain error, so callers (and
+                # the bench --index-cache path) can fall back to a
+                # rebuild instead of crashing on stdlib internals.
+                raise IndexParameterError(
+                    f"{path!s} is truncated or corrupted after its magic "
+                    f"prefix ({type(exc).__name__}: {exc}); delete it and "
+                    "rebuild the index"
+                ) from exc
         if not isinstance(payload, dict) or payload.get("format") != _IO_FORMAT:
             raise IndexParameterError(
                 f"{path!s} is not a serialised hub index"
@@ -314,6 +424,20 @@ class HubIndex:
             raise IndexParameterError(
                 f"unsupported hub-index I/O version {payload.get('io_version')!r} "
                 f"(this build reads version {_IO_VERSION})"
+            )
+        missing = [
+            key
+            for key in (
+                "graph_version", "graph_nodes", "graph_edges",
+                "graph_directed", "graph_digest", "capacity", "hubs",
+                "known", "reverse", "check", "explored",
+            )
+            if key not in payload
+        ]
+        if missing:
+            raise IndexParameterError(
+                f"{path!s} is a corrupted hub-index payload: missing "
+                f"fields {missing}; delete it and rebuild the index"
             )
         if (
             payload["graph_nodes"] != graph.num_nodes

@@ -15,6 +15,12 @@ serialisation, validation, statistics and bichromatic partitions.
 from repro.graph.graph import Graph
 from repro.graph.builder import GraphBuilder
 from repro.graph.csr import CompactGraph
+from repro.graph.shm import (
+    SharedGraphHandle,
+    SharedGraphOwner,
+    attach_compact_graph,
+    share_compact_graph,
+)
 from repro.graph.partition import BichromaticPartition
 from repro.graph.views import transpose_view
 from repro.graph.validation import validate_graph
@@ -24,6 +30,10 @@ __all__ = [
     "Graph",
     "GraphBuilder",
     "CompactGraph",
+    "SharedGraphHandle",
+    "SharedGraphOwner",
+    "share_compact_graph",
+    "attach_compact_graph",
     "BichromaticPartition",
     "transpose_view",
     "validate_graph",

@@ -465,7 +465,21 @@ class CompactGraph:
         back to node-count and version comparisons.  The node-index map is
         rebuilt on load rather than shipped (it is derivable and typically
         the payload's largest dict).
+
+        Shared-memory mapped compilations (from
+        :func:`repro.graph.shm.attach_compact_graph`) refuse to pickle:
+        their buffers are views into another process's segment, and
+        copying them out would silently reintroduce the per-worker private
+        copy the shared mode exists to avoid.  Ship the
+        :class:`~repro.graph.shm.SharedGraphHandle` instead.
         """
+        if not isinstance(self._out_offsets, array):
+            raise GraphValidationError(
+                "cannot pickle a shared-memory mapped CompactGraph (its "
+                "buffers are views into a shared segment); ship the "
+                "SharedGraphHandle and attach_compact_graph() on the "
+                "receiving side instead"
+            )
         return (
             _rebuild_compact_graph,
             (

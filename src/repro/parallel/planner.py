@@ -39,7 +39,34 @@ from repro.errors import ParallelExecutionError, is_positive_int
 
 NodeId = Hashable
 
-__all__ = ["ShardPolicy", "Shard", "ShardPlan", "ShardPlanner"]
+__all__ = ["ShardPolicy", "Shard", "ShardPlan", "ShardPlanner", "chunk_evenly"]
+
+
+def chunk_evenly(items: Sequence, parts: int) -> List[List]:
+    """Split ``items`` into ``parts`` contiguous, near-equal chunks.
+
+    Order-preserving by construction: concatenating the chunks reproduces
+    ``items`` exactly.  The parallel hub-index build depends on that —
+    dispatching *contiguous* hub runs and merging the resulting deltas in
+    chunk order replays the sequential build's ``record_rank`` call
+    sequence verbatim, which is what makes the merged index bit-identical
+    (not merely equivalent) to a sequentially built one.  Chunk sizes
+    differ by at most one; trailing chunks may be empty when
+    ``parts > len(items)``.
+    """
+    if not is_positive_int(parts):
+        raise ParallelExecutionError(
+            f"parts must be a positive integer, got {parts!r}"
+        )
+    sequence = list(items)
+    base, extra = divmod(len(sequence), parts)
+    chunks: List[List] = []
+    start = 0
+    for part in range(parts):
+        size = base + (1 if part < extra else 0)
+        chunks.append(sequence[start : start + size])
+        start += size
+    return chunks
 
 
 class ShardPolicy(str, enum.Enum):

@@ -1,12 +1,28 @@
 """The persistent multiprocess worker pool (parent side).
 
-A :class:`WorkerPool` owns ``N`` long-lived worker processes, each holding
-a private copy of one :class:`~repro.graph.csr.CompactGraph` compilation
-(plus, optionally, a bichromatic facility set and a
-:meth:`~repro.core.hub_index.HubIndex.export_state` snapshot), shipped
-pickled exactly once at startup.  Batches are then dispatched shard-wise
-— the payload per batch is just the query identifiers — and reassembled
-deterministically by :mod:`repro.parallel.merge`.
+A :class:`WorkerPool` owns ``N`` long-lived worker processes around one
+:class:`~repro.graph.csr.CompactGraph` compilation (plus, optionally, a
+bichromatic facility set and a
+:meth:`~repro.core.hub_index.HubIndex.export_state` snapshot).  Batches
+are then dispatched shard-wise — the payload per batch is just the query
+identifiers — and reassembled deterministically by
+:mod:`repro.parallel.merge`.
+
+Graph transport
+---------------
+By default the pool publishes the compilation's frozen CSR buffers into a
+:mod:`multiprocessing.shared_memory` segment
+(:func:`~repro.graph.shm.share_compact_graph`) and ships workers only the
+tiny :class:`~repro.graph.shm.SharedGraphHandle`: each worker *maps* the
+graph (digest-verified attach, near-zero startup payload, O(1) extra RSS
+per worker) instead of unpickling a private copy — the difference between
+"2 workers" and "2x the graph in RAM" at the huge scale tier.  Pass
+``share_graph=False`` to force the legacy pickled-copy transport, or
+``share_graph=True`` to require the shared one (startup then fails
+loudly where shared memory is unavailable instead of silently falling
+back).  The segment is owned by the pool and unlinked on *every* exit
+path: normal :meth:`close`, worker crash, context-manager exception and
+the ``__del__`` safety net.
 
 Lifecycle guarantees
 --------------------
@@ -43,8 +59,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.config import AlgorithmKind
 from repro.core.types import check_stats_mode
 from repro.errors import ParallelExecutionError, WorkerCrashError, is_positive_int
+from repro.graph.shm import share_compact_graph
 from repro.parallel.merge import ParallelBatchResult, ShardOutput, merge_shard_outputs
-from repro.parallel.planner import ShardPlan
+from repro.parallel.planner import ShardPlan, chunk_evenly
 from repro.parallel.worker import build_init_payload, worker_main
 
 __all__ = ["WorkerPool"]
@@ -88,8 +105,9 @@ class WorkerPool:
     Parameters
     ----------
     graph:
-        A :class:`~repro.graph.csr.CompactGraph` compilation; each worker
-        receives its own pickled copy at startup.
+        A :class:`~repro.graph.csr.CompactGraph` compilation, shipped to
+        workers over the shared-memory or pickled transport (see the
+        module docstring).
     workers:
         Number of worker processes (>= 1).
     index_state:
@@ -104,6 +122,11 @@ class WorkerPool:
         ``None`` for the platform default.
     start_timeout:
         Seconds to wait for all workers to report ready.
+    share_graph:
+        ``None`` (default): share the CSR buffers via shared memory when
+        the platform supports it, falling back to pickled copies.
+        ``True``: require shared memory (raise otherwise).  ``False``:
+        always ship pickled copies.
     """
 
     def __init__(
@@ -114,7 +137,15 @@ class WorkerPool:
         facilities=None,
         context: Optional[str] = None,
         start_timeout: float = 60.0,
+        share_graph: Optional[bool] = None,
     ) -> None:
+        # Attributes close() touches come first: a constructor failure at
+        # any later point must leave close() safe to run.
+        self._closed = False
+        self._graph_owner = None
+        self._processes: List[multiprocessing.Process] = []
+        self._task_queues = []
+        self._result_queue = None
         if not is_positive_int(workers):
             raise ParallelExecutionError(
                 f"workers must be a positive integer, got {workers!r}"
@@ -133,7 +164,6 @@ class WorkerPool:
                 f"{multiprocessing.get_all_start_methods()}"
             ) from None
 
-        self._closed = False
         self._num_workers = workers
         self._start_method = ctx.get_start_method()
         self._has_index = index_state is not None
@@ -141,28 +171,47 @@ class WorkerPool:
         # Kept for decoding shard result blocks (entry nodes travel as
         # CSR indexes of this compilation).
         self._graph = graph
-        init_bytes = build_init_payload(
-            graph, index_state=index_state, facilities=facilities
-        )
-        self._result_queue = ctx.Queue()
-        self._task_queues = [ctx.Queue() for _ in range(workers)]
-        self._processes: List[multiprocessing.Process] = []
-        with _child_importable_pythonpath():
-            for worker_id in range(workers):
-                process = ctx.Process(
-                    target=worker_main,
-                    args=(
-                        worker_id,
-                        init_bytes,
-                        self._task_queues[worker_id],
-                        self._result_queue,
-                    ),
-                    name=f"repro-worker-{worker_id}",
-                    daemon=True,
-                )
-                process.start()
-                self._processes.append(process)
         try:
+            if share_graph is not False:
+                try:
+                    self._graph_owner = share_compact_graph(graph)
+                except Exception as exc:
+                    if share_graph is True:
+                        raise ParallelExecutionError(
+                            "share_graph=True but publishing the graph to "
+                            f"shared memory failed: {exc}"
+                        ) from exc
+                    # Auto mode: platforms without (writable) shared
+                    # memory fall back to the pickled transport.
+                    self._graph_owner = None
+            init_bytes = build_init_payload(
+                None if self._graph_owner is not None else graph,
+                index_state=index_state,
+                facilities=facilities,
+                graph_handle=(
+                    self._graph_owner.handle
+                    if self._graph_owner is not None
+                    else None
+                ),
+            )
+            self._startup_payload_bytes = len(init_bytes)
+            self._result_queue = ctx.Queue()
+            self._task_queues = [ctx.Queue() for _ in range(workers)]
+            with _child_importable_pythonpath():
+                for worker_id in range(workers):
+                    process = ctx.Process(
+                        target=worker_main,
+                        args=(
+                            worker_id,
+                            init_bytes,
+                            self._task_queues[worker_id],
+                            self._result_queue,
+                        ),
+                        name=f"repro-worker-{worker_id}",
+                        daemon=True,
+                    )
+                    process.start()
+                    self._processes.append(process)
             self._await_ready(start_timeout)
         except BaseException:
             self.close(timeout=2.0)
@@ -183,6 +232,27 @@ class WorkerPool:
     def has_index(self) -> bool:
         """Whether workers carry a hub-index snapshot."""
         return self._has_index
+
+    @property
+    def uses_shared_graph(self) -> bool:
+        """Whether workers map the graph from shared memory (vs pickled)."""
+        return self._graph_owner is not None
+
+    @property
+    def shared_segment_name(self) -> Optional[str]:
+        """The shared graph segment's name, or ``None`` in pickled mode."""
+        owner = self._graph_owner
+        return owner.segment_name if owner is not None else None
+
+    @property
+    def startup_payload_bytes(self) -> int:
+        """Bytes of init payload pickled per worker at startup.
+
+        In shared-graph mode this is just the handle + header (a few
+        hundred bytes, independent of graph size); in pickled mode it
+        includes the full CSR buffers.
+        """
+        return self._startup_payload_bytes
 
     @property
     def is_closed(self) -> bool:
@@ -254,6 +324,7 @@ class WorkerPool:
         for shard in shards:
             self._task_queues[shard.index % self._num_workers].put(
                 (
+                    "query",
                     job_id,
                     shard.positions,
                     shard.queries,
@@ -318,6 +389,54 @@ class WorkerPool:
         return merge_shard_outputs(
             outputs, batch_size=plan.num_queries, csr=self._graph
         )
+
+    def run_hub_build(self, hubs, explore_limit: int, capacity: int):
+        """Explore ``hubs`` across the workers; returns deltas in hub order.
+
+        The hub list is split into contiguous chunks
+        (:func:`~repro.parallel.planner.chunk_evenly`) — worker ``j``
+        explores the ``j``-th run of hubs — and the returned
+        :class:`~repro.core.hub_index.HubIndexDelta` list is ordered by
+        chunk, i.e. by original hub order.  Merging the deltas in that
+        order replays the sequential build's recording sequence exactly;
+        :meth:`~repro.core.hub_index.HubIndex.build_parallel` is the
+        intended caller.
+
+        Raises
+        ------
+        ParallelExecutionError
+            When the pool is closed, or a worker reported an exception.
+        WorkerCrashError
+            When a worker process died mid-exploration.
+        """
+        if self._closed:
+            raise ParallelExecutionError(
+                "cannot run a hub build on a closed WorkerPool"
+            )
+        job_id = next(self._job_ids)
+        chunks = chunk_evenly(list(hubs), self._num_workers)
+        dispatched: List[int] = []
+        for worker_id, chunk in enumerate(chunks):
+            if not chunk:
+                continue
+            self._task_queues[worker_id].put(
+                ("hubs", job_id, tuple(chunk), explore_limit, capacity)
+            )
+            dispatched.append(worker_id)
+        deltas: Dict[int, object] = {}
+        pending = len(dispatched)
+        while pending:
+            message_kind, worker_id, message_job, payload = self._receive()
+            if message_job != job_id:
+                continue
+            if message_kind == "error":
+                raise ParallelExecutionError(
+                    f"worker {worker_id} failed while exploring its hub "
+                    f"chunk:\n{payload}"
+                )
+            deltas[worker_id] = payload
+            pending -= 1
+        return [deltas[worker_id] for worker_id in dispatched]
 
     def _nth_shard_of_worker(self, shards, worker_id: int, nth: int) -> int:
         """Index of the ``nth`` (1-based) shard dispatched to ``worker_id``."""
@@ -387,26 +506,57 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def close(self, timeout: float = 10.0) -> None:
-        """Shut the workers down; escalates to ``terminate`` on stragglers."""
+        """Shut the workers down; escalates to ``terminate`` on stragglers.
+
+        Idempotent and exception-proof by contract: it runs on normal
+        shutdown, after a :class:`~repro.errors.WorkerCrashError`, from
+        context-manager ``__exit__`` during an unrelated exception, and
+        from ``__del__`` at interpreter teardown — none of which may
+        raise.  Every queue operation is individually guarded (a crashed
+        worker leaves broken pipes; GC-time cleanup finds queues already
+        torn down), and the shared graph segment, if any, is unlinked
+        unconditionally at the end of every path through this method.
+        """
         if self._closed:
             return
         self._closed = True
-        for task_queue in self._task_queues:
-            try:
-                task_queue.put(None)
-            except (OSError, ValueError):  # queue already broken
-                pass
-        for process in self._processes:
-            process.join(timeout=timeout)
-        for process in self._processes:
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=2.0)
-        for task_queue in self._task_queues:
-            task_queue.close()
-            task_queue.cancel_join_thread()
-        self._result_queue.close()
-        self._result_queue.cancel_join_thread()
+        try:
+            for task_queue in self._task_queues:
+                try:
+                    task_queue.put(None)
+                except (OSError, ValueError, BrokenPipeError):
+                    pass  # queue already broken / worker gone
+            for process in self._processes:
+                try:
+                    process.join(timeout=timeout)
+                except Exception:
+                    pass
+            for process in self._processes:
+                try:
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=2.0)
+                except Exception:
+                    pass
+            queues = list(self._task_queues)
+            if self._result_queue is not None:
+                queues.append(self._result_queue)
+            for any_queue in queues:
+                try:
+                    any_queue.close()
+                except (OSError, ValueError, BrokenPipeError, AttributeError):
+                    pass
+                try:
+                    any_queue.cancel_join_thread()
+                except Exception:
+                    pass
+        finally:
+            # The one cleanup that MUST happen on every path: a leaked
+            # segment outlives the process and eats /dev/shm forever.
+            owner = self._graph_owner
+            self._graph_owner = None
+            if owner is not None:
+                owner.unlink()
 
     def __del__(self):  # pragma: no cover - GC safety net
         try:

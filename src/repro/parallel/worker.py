@@ -9,31 +9,46 @@ mutations).
 Startup contract
 ----------------
 Each worker receives one :func:`pickle.dumps`-ed init payload — built by
-:func:`build_init_payload` in the parent — containing the coordinator's
-:class:`~repro.graph.csr.CompactGraph` compilation, the optional
-bichromatic facility set, and an optional
-:meth:`~repro.core.hub_index.HubIndex.export_state` snapshot.  Pickling is
-explicit (bytes, not objects) so the graph and index are *copies* under
-``fork`` too: a worker warming its local index can never mutate the
-coordinator's.
+:func:`build_init_payload` in the parent — containing the graph in one of
+two transports plus the optional bichromatic facility set and an optional
+:meth:`~repro.core.hub_index.HubIndex.export_state` snapshot:
+
+* **pickled** (``"graph"`` key): the coordinator's
+  :class:`~repro.graph.csr.CompactGraph` compilation serialised in full.
+  Pickling is explicit (bytes, not objects) so the graph and index are
+  *copies* under ``fork`` too: a worker warming its local index can never
+  mutate the coordinator's.  The worker verifies the compilation's
+  content digest against the digest recorded at pool construction.
+* **shared** (``"graph_handle"`` key): a
+  :class:`~repro.graph.shm.SharedGraphHandle` naming a shared-memory
+  segment published by the parent.  The worker *maps* the segment —
+  :func:`~repro.graph.shm.attach_compact_graph` recomputes the content
+  digest over the mapped bytes before handing the graph out — so startup
+  cost and per-worker RSS stay O(1) in the graph size.  The worker keeps
+  the segment mapped for its whole lifetime (the graph's buffers are
+  views into it) and never unlinks: the segment's lifecycle belongs to
+  the parent pool.
 
 The worker rebuilds a full :class:`~repro.core.engine.ReverseKRanksEngine`
 around the compilation itself (a :class:`CompactGraph` satisfies the whole
 read-only graph protocol, and every algorithm's hot loop recognises its
-``is_compact`` marker), verifies the graph's content digest against the
-digest recorded at pool construction, and then serves shard tasks until it
-reads the ``None`` shutdown sentinel.
+``is_compact`` marker), then serves tasks until it reads the ``None``
+shutdown sentinel.
 
 Message protocol (all tuples, queue-pickled)
 --------------------------------------------
-* parent -> worker: ``(job_id, positions, queries, k, algorithm_value,
-  bounds, collect_delta, stats_mode)`` or ``None`` to shut down.
+* parent -> worker: tagged tuples —
+  ``("query", job_id, positions, queries, k, algorithm_value, bounds,
+  collect_delta, stats_mode)`` for a query shard,
+  ``("hubs", job_id, hubs, explore_limit, capacity)`` for a hub-index
+  build shard, or ``None`` to shut down.
 * worker -> parent: ``(kind, worker_id, job_id, payload)`` where ``kind``
   is ``"ready"`` (startup complete), ``"done"`` (payload is
-  ``(positions, block, delta)`` with ``block`` a flat
-  :class:`~repro.parallel.codec.ShardResultBlock` — per-object result
-  pickling is gone; see :mod:`repro.parallel.codec` for the wire format)
-  or ``"error"`` (payload is a formatted remote traceback string).
+  ``(positions, block, delta)`` for a query shard — ``block`` a flat
+  :class:`~repro.parallel.codec.ShardResultBlock`; see
+  :mod:`repro.parallel.codec` for the wire format — or a bare
+  :class:`~repro.core.hub_index.HubIndexDelta` for a hub shard) or
+  ``"error"`` (payload is a formatted remote traceback string).
 """
 
 from __future__ import annotations
@@ -49,20 +64,29 @@ def build_init_payload(
     graph,
     index_state: Optional[Dict[str, object]] = None,
     facilities=None,
+    graph_handle=None,
 ) -> bytes:
     """Serialise the per-worker startup state (parent side).
 
-    ``graph`` must be a :class:`~repro.graph.csr.CompactGraph`;
-    ``facilities`` the bichromatic V2 node set (or ``None``);
-    ``index_state`` an :meth:`~repro.core.hub_index.HubIndex.export_state`
-    snapshot (or ``None``).
+    Exactly one graph transport is encoded: when ``graph_handle`` (a
+    :class:`~repro.graph.shm.SharedGraphHandle`) is given the payload
+    carries only that handle — the CSR buffers never enter the pickle and
+    the payload stays a few hundred bytes regardless of graph size;
+    otherwise ``graph`` (a :class:`~repro.graph.csr.CompactGraph`) is
+    pickled in full alongside its content digest.  ``facilities`` is the
+    bichromatic V2 node set (or ``None``); ``index_state`` an
+    :meth:`~repro.core.hub_index.HubIndex.export_state` snapshot (or
+    ``None``).
     """
     payload = {
-        "graph": graph,
-        "digest": graph.content_digest(),
         "facilities": None if facilities is None else frozenset(facilities),
         "index_state": index_state,
     }
+    if graph_handle is not None:
+        payload["graph_handle"] = graph_handle
+    else:
+        payload["graph"] = graph
+        payload["digest"] = graph.content_digest()
     return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
 
@@ -80,13 +104,22 @@ class _WorkerState:
         from repro.errors import ParallelExecutionError
         from repro.graph.partition import BichromaticPartition
 
-        graph = init["graph"]
-        digest = graph.content_digest()
-        if digest != init["digest"]:
-            raise ParallelExecutionError(
-                "worker received a corrupted graph payload: content digest "
-                f"{digest} != expected {init['digest']}"
-            )
+        handle = init.get("graph_handle")
+        if handle is not None:
+            from repro.graph.shm import attach_compact_graph
+
+            # attach_compact_graph digest-verifies the mapped bytes; the
+            # segment must stay referenced as long as the graph lives.
+            graph, self._segment = attach_compact_graph(handle)
+        else:
+            self._segment = None
+            graph = init["graph"]
+            digest = graph.content_digest()
+            if digest != init["digest"]:
+                raise ParallelExecutionError(
+                    "worker received a corrupted graph payload: content digest "
+                    f"{digest} != expected {init['digest']}"
+                )
         facilities = init["facilities"]
         partition = (
             BichromaticPartition(graph, facilities)
@@ -105,7 +138,7 @@ class _WorkerState:
         self, positions, queries, k, algorithm, bounds, collect_delta,
         stats_mode="per-query",
     ):
-        """Evaluate one shard; returns ``(positions, block, delta)``.
+        """Evaluate one query shard; returns ``(positions, block, delta)``.
 
         ``block`` is the shard's results packed into flat array buffers
         by :class:`~repro.parallel.codec.ShardResultCodec` under
@@ -133,14 +166,57 @@ class _WorkerState:
         )
         return tuple(positions), block, delta
 
+    def run_hub_shard(self, hubs, explore_limit, capacity):
+        """Explore ``hubs`` and return the learned :class:`HubIndexDelta`.
+
+        The shard builds a throwaway index over the worker's own graph
+        copy/mapping purely to drive the explorations with a learning log
+        attached; everything learned — exact ranks and per-hub settled
+        counts — leaves as the delta, which the parent merges in hub
+        order to reproduce the sequential build exactly (different hubs
+        record disjoint ``(source, target)`` keys, so merge order across
+        shards never changes a value; see
+        :meth:`~repro.core.hub_index.HubIndex.build_parallel`).
+        """
+        from repro.core.hub_index import HubIndex
+
+        scratch = HubIndex(self.engine.graph, capacity, hubs)
+        scratch.start_learning_log()
+        for hub in hubs:
+            scratch._explore_hub(hub, explore_limit, self.engine.graph)
+        return scratch.pop_learning_log()
+
+    def release(self) -> None:
+        """Drop the engine and close the shared mapping, in that order.
+
+        Called on clean shutdown so the segment's mmap can actually close:
+        the attached graph's buffers are exported memoryviews into it, and
+        closing with exports alive raises ``BufferError`` (which at
+        interpreter-exit GC would surface as "Exception ignored" noise on
+        stderr).  Dropping every graph reference first, then collecting,
+        releases the exports.
+        """
+        segment = self._segment
+        self._segment = None
+        self.engine = None
+        if segment is None:
+            return
+        import gc
+
+        gc.collect()
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - stray export still alive
+            pass
+
 
 def worker_main(worker_id: int, init_bytes: bytes, task_queue, result_queue) -> None:
     """Entry point of one worker process.
 
-    Reports ``"ready"`` after the engine is rebuilt, then answers shard
+    Reports ``"ready"`` after the engine is rebuilt, then answers tagged
     tasks until the shutdown sentinel.  Any exception — during startup or
-    while serving a shard — is formatted with its traceback and shipped
-    to the parent as an ``"error"`` message; the worker survives shard
+    while serving a task — is formatted with its traceback and shipped
+    to the parent as an ``"error"`` message; the worker survives task
     errors (the next task may be fine) but startup errors are fatal.
     """
     try:
@@ -150,22 +226,32 @@ def worker_main(worker_id: int, init_bytes: bytes, task_queue, result_queue) -> 
         return
     result_queue.put(("ready", worker_id, None, None))
 
-    while True:
-        task = task_queue.get()
-        if task is None:
-            break
-        (
-            job_id, positions, queries, k, algorithm, bounds, collect_delta,
-            stats_mode,
-        ) = task
-        try:
-            payload = state.run_shard(
-                positions, queries, k, algorithm, bounds, collect_delta,
-                stats_mode,
-            )
-        except BaseException:
-            result_queue.put(
-                ("error", worker_id, job_id, traceback.format_exc())
-            )
-            continue
-        result_queue.put(("done", worker_id, job_id, payload))
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            tag, job_id = task[0], task[1]
+            try:
+                if tag == "query":
+                    (
+                        positions, queries, k, algorithm, bounds, collect_delta,
+                        stats_mode,
+                    ) = task[2:]
+                    payload = state.run_shard(
+                        positions, queries, k, algorithm, bounds, collect_delta,
+                        stats_mode,
+                    )
+                elif tag == "hubs":
+                    hubs, explore_limit, capacity = task[2:]
+                    payload = state.run_hub_shard(hubs, explore_limit, capacity)
+                else:
+                    raise ValueError(f"unknown worker task tag {tag!r}")
+            except BaseException:
+                result_queue.put(
+                    ("error", worker_id, job_id, traceback.format_exc())
+                )
+                continue
+            result_queue.put(("done", worker_id, job_id, payload))
+    finally:
+        state.release()

@@ -10,7 +10,10 @@ from repro.bench import (
     WORKLOAD_FAMILIES,
     build_report,
     build_suite,
+    dataset_workload,
     gnp_workload,
+    huge_suite,
+    lattice_workload,
     powerlaw_workload,
     render_table,
     run_workload,
@@ -30,6 +33,7 @@ def test_all_families_have_generators():
         "gnp",
         "powerlaw",
         "bichromatic",
+        "lattice",
     }
 
 
@@ -92,6 +96,53 @@ def test_large_scale_defines_sampled_monochromatic_workloads():
     # Bichromatic has no large preset yet; asking for it explicitly fails.
     with pytest.raises(WorkloadError):
         build_suite(families=["bichromatic"], scale="large")
+
+
+def test_lattice_workload_shape_and_determinism():
+    first = lattice_workload(side=6, seed=3)
+    second = lattice_workload(side=6, seed=3)
+    assert first.graph.structurally_equal(second.graph)
+    assert first.queries == second.queries
+    assert first.num_nodes == 36
+    assert first.family == "lattice"
+    assert first.name == "lattice-6x6"
+    # The diagonal shortcuts make it more than a pure grid.
+    grid_edges = 2 * 6 * (6 - 1)
+    assert first.graph.num_edges >= grid_edges
+    with pytest.raises(WorkloadError):
+        lattice_workload(side=1)
+    with pytest.raises(WorkloadError):
+        lattice_workload(side=4, diagonal_fraction=1.5)
+
+
+def test_huge_scale_presets_use_auto_budgets():
+    from repro.bench.workloads import _SCALES
+
+    assert sorted(_SCALES["huge"]) == ["lattice"]
+    preset = _SCALES["huge"]["lattice"]
+    assert preset["side"] == 320  # n = 102,400 — the huge tier target
+    assert preset["naive_sample"]
+    assert preset["index_params"] == {"num_hubs": "auto", "explore_limit": "auto"}
+    # Every large preset also defers to the budget policy now.
+    for family, params in _SCALES["large"].items():
+        assert params["index_params"]["num_hubs"] == "auto", family
+    # Materialising the side=320 lattice is a bench-only cost; huge_suite
+    # itself is exercised by the slow-marked smoke below.
+    assert callable(huge_suite)
+
+
+def test_dataset_workload_reads_edge_list(tmp_path):
+    path = tmp_path / "tiny.txt"
+    path.write_text("# tiny dataset\n0 1 1.0\n1 2 2.0\n2 3 1.5\n3 0 1.0\n")
+    workload = dataset_workload(path, num_queries=2, seed=1)
+    assert workload.family == "dataset"
+    assert workload.name == "dataset-tiny"
+    assert workload.num_nodes == 4
+    assert workload.params["path"] == str(path)
+    # Small graphs keep the exhaustive naive baseline.
+    assert workload.naive_sample is None
+    result = run_workload(workload, repetitions=1, warmup=0)
+    assert result.algorithms["naive"].validated is True
 
 
 def test_combined_scales_concatenate_suites():
@@ -350,3 +401,56 @@ def test_cli_rejects_unknown_family(tmp_path, capsys):
     )
     assert exit_code == 2
     assert "unknown workload family" in capsys.readouterr().err
+
+
+def test_cli_dataset_run(tmp_path):
+    dataset = tmp_path / "toy.txt"
+    dataset.write_text("0 1 1.0\n1 2 1.5\n2 3 1.0\n3 4 2.0\n4 0 1.0\n")
+    output = tmp_path / "bench.json"
+    exit_code = bench_main(
+        ["--dataset", str(dataset), "--repetitions", "1", "--warmup", "0",
+         "--output", str(output), "--quiet"]
+    )
+    assert exit_code == 0
+    report = json.loads(output.read_text())
+    assert report["config"]["scale"] == "dataset"
+    assert report["config"]["dataset"] == str(dataset)
+    (workload,) = report["workloads"]
+    assert workload["family"] == "dataset"
+    assert workload["name"] == "dataset-toy"
+
+
+def test_cli_dataset_missing_file_fails_cleanly(tmp_path, capsys):
+    exit_code = bench_main(
+        ["--dataset", str(tmp_path / "nope.txt"),
+         "--output", str(tmp_path / "x.json"), "--quiet"]
+    )
+    assert exit_code == 2
+    assert capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Huge-tier smoke (slow)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_huge_tier_smoke_shares_graph_and_parallel_index():
+    # A scaled-down huge-tier run: same preset shape (lattice + sampled
+    # naive + auto budgets + workers axis) on an affordable side=40
+    # lattice.  Asserts the three huge-tier facts end to end: workers map
+    # the shared-memory graph, the pool-built hub index is bit-identical
+    # to the sequential build, and every parallel batch matches its
+    # sequential reference.
+    workload = lattice_workload(
+        side=40, num_queries=2, k=8, naive_sample=12,
+        index_params={"num_hubs": "auto", "explore_limit": "auto"},
+    )
+    result = run_workload(workload, repetitions=1, warmup=0, workers=(1, 2))
+    assert result.parallel_consistent is True
+    assert result.parallel_index_consistent is True
+    parallel = result.algorithms["indexed@w2"]
+    assert parallel.graph_shared is True
+    assert parallel.startup_payload_bytes is not None
+    payload = result.as_dict()
+    assert payload["algorithms"]["indexed@w2"]["graph_shared"] is True
+    assert payload["parallel_index_consistent"] is True
+    json.dumps(payload)

@@ -1,0 +1,179 @@
+"""Graph serialisation: edge-list robustness, DIMACS, format auto-detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import Graph
+from repro.graph.io import (
+    load_dataset,
+    read_dimacs,
+    read_edge_list,
+    read_json,
+    write_edge_list,
+    write_json,
+)
+
+
+def small_graph() -> Graph:
+    graph = Graph(name="io")
+    for source, target, weight in [(0, 1, 1.5), (1, 2, 2.0), (2, 3, 1.0)]:
+        graph.add_edge(source, target, weight)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Edge lists
+# ----------------------------------------------------------------------
+class TestEdgeList:
+    def test_write_read_round_trip(self, tmp_path):
+        graph = small_graph()
+        path = tmp_path / "edges.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path, node_type=int)
+        assert loaded.structurally_equal(graph)
+
+    def test_tolerates_crlf_blank_and_comment_lines(self, tmp_path):
+        path = tmp_path / "messy.txt"
+        # CRLF endings, blank lines, '#' and '%' comments, stray spaces —
+        # everything a real SNAP/KONECT download contains.
+        path.write_bytes(
+            b"# snap header\r\n"
+            b"\r\n"
+            b"% konect header\r\n"
+            b"0 1 1.5\r\n"
+            b"  1 2 2.0  \r\n"
+            b"\n"
+            b"2\t3\t1.0\r\n"
+            b"3 0\r\n"  # weightless edge defaults to 1.0
+        )
+        graph = read_edge_list(path, node_type=int)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 4
+        assert graph.weight(3, 0) == 1.0
+
+    def test_round_trip_survives_crlf_rewrite(self, tmp_path):
+        graph = small_graph()
+        clean = tmp_path / "clean.txt"
+        write_edge_list(graph, clean)
+        # Re-encode the file the way a Windows checkout would.
+        crlf = tmp_path / "crlf.txt"
+        crlf.write_bytes(clean.read_bytes().replace(b"\n", b"\r\n"))
+        assert read_edge_list(crlf, node_type=int).structurally_equal(graph)
+
+    @pytest.mark.parametrize(
+        "line, match",
+        [
+            ("0 1 2 3 4", "expected 'source target"),
+            ("0", "expected 'source target"),
+            ("a b notaweight", "cannot parse"),
+            ("0 1 nan", "non-finite"),
+            ("0 1 inf", "non-finite"),
+            ("0 1 -2.0", "invalid edge"),
+        ],
+    )
+    def test_malformed_lines_fail_with_line_number(self, tmp_path, line, match):
+        path = tmp_path / "bad.txt"
+        path.write_text(f"# header\n0 1 1.0\n{line}\n")
+        with pytest.raises(DatasetError, match=match) as excinfo:
+            read_edge_list(path, node_type=int)
+        assert ":3:" in str(excinfo.value)  # 1-based line number
+
+    def test_comment_only_file_yields_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing here\n\n% nothing at all\n")
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 0 and graph.num_edges == 0
+
+
+# ----------------------------------------------------------------------
+# DIMACS shortest-path files
+# ----------------------------------------------------------------------
+DIMACS = """c USA-road-d style fixture
+c
+p sp 4 6
+a 1 2 3.0
+a 2 1 3.0
+a 2 3 1.5
+a 3 2 1.5
+a 3 4 2.0
+a 4 3 2.0
+"""
+
+
+class TestDimacs:
+    def test_reads_undirected_road_network(self, tmp_path):
+        path = tmp_path / "road.gr"
+        path.write_text(DIMACS)
+        graph = read_dimacs(path)
+        # Both arc directions collapse into one undirected edge.
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 3
+        assert graph.weight(1, 2) == 3.0
+
+    def test_declared_isolated_nodes_survive(self, tmp_path):
+        path = tmp_path / "sparse.gr"
+        path.write_text("p sp 5 1\na 1 2 1.0\n")
+        graph = read_dimacs(path)
+        assert graph.num_nodes == 5  # nodes 3..5 isolated but present
+
+    @pytest.mark.parametrize(
+        "content, match",
+        [
+            ("a 1 2 1.0\n", "arc line before"),
+            ("p sp 3\n", "expected 'p sp"),
+            ("p sp 3 1\na 1 9 1.0\n", "outside the declared"),
+            ("p sp 3 1\na 1 2\n", "expected 'a"),
+            ("p sp 3 1\nq wat\n", "unknown DIMACS line type"),
+            ("p sp 3 1\na 1 2 nan\n", "non-finite"),
+        ],
+    )
+    def test_malformed_dimacs_fails_typed(self, tmp_path, content, match):
+        path = tmp_path / "bad.gr"
+        path.write_text(content)
+        with pytest.raises(DatasetError, match=match):
+            read_dimacs(path)
+
+    def test_missing_problem_line_fails(self, tmp_path):
+        path = tmp_path / "nop.gr"
+        path.write_text("c just comments\n")
+        with pytest.raises(DatasetError, match="no 'p sp'"):
+            read_dimacs(path)
+
+
+# ----------------------------------------------------------------------
+# load_dataset auto-detection
+# ----------------------------------------------------------------------
+class TestLoadDataset:
+    def test_detects_gr_suffix(self, tmp_path):
+        path = tmp_path / "road.gr"
+        path.write_text(DIMACS)
+        assert load_dataset(path).num_edges == 3
+
+    def test_sniffs_dimacs_content_without_suffix(self, tmp_path):
+        path = tmp_path / "road.dat"
+        path.write_text(DIMACS)
+        assert load_dataset(path).num_edges == 3
+
+    def test_detects_json_documents(self, tmp_path):
+        graph = small_graph()
+        path = tmp_path / "graph.json"
+        write_json(graph, path)
+        loaded = load_dataset(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert loaded.num_edges == graph.num_edges
+
+    def test_falls_back_to_edge_list_with_int_nodes(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# snap style\n10 20 1.0\n20 30 2.0\n")
+        graph = load_dataset(path)
+        assert graph.has_node(10) and graph.has_node(30)
+
+    def test_json_round_trip_via_read_json(self, tmp_path):
+        graph = small_graph()
+        path = tmp_path / "doc.json"
+        write_json(graph, path)
+        loaded, partition = read_json(path)
+        assert partition is None
+        assert loaded.num_edges == graph.num_edges

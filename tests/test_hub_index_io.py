@@ -127,6 +127,79 @@ def test_load_rejects_files_without_magic_before_unpickling(tmp_path):
         HubIndex.load(path, build_graph())
 
 
+def test_load_rejects_truncated_file_with_valid_magic(tmp_path):
+    # A crash mid-write leaves a file whose magic prefix is intact but
+    # whose pickle stream is cut short.  load() must surface that as the
+    # typed IndexParameterError, not a raw UnpicklingError/EOFError.
+    graph = build_graph()
+    path = tmp_path / "truncated.hubindex"
+    HubIndex.build(graph, num_hubs=2, capacity=4).save(path)
+    blob = path.read_bytes()
+    from repro.core.hub_index import _IO_MAGIC
+
+    assert blob.startswith(_IO_MAGIC)
+    path.write_bytes(blob[: len(_IO_MAGIC) + (len(blob) - len(_IO_MAGIC)) // 2])
+    with pytest.raises(IndexParameterError, match="truncated or corrupted"):
+        HubIndex.load(path, graph)
+
+
+def test_save_is_atomic_under_write_failure(tmp_path, monkeypatch):
+    # A failed save must leave a previously-good index file byte-identical
+    # (os.replace never ran) and must not litter temp files.
+    graph = build_graph()
+    path = tmp_path / "atomic.hubindex"
+    index = HubIndex.build(graph, num_hubs=2, capacity=4)
+    index.save(path)
+    good_bytes = path.read_bytes()
+
+    import repro.core.hub_index as hub_index_module
+
+    def exploding_fsync(fd):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(hub_index_module.os, "fsync", exploding_fsync)
+    with pytest.raises(OSError, match="disk full"):
+        index.save(path)
+    monkeypatch.undo()
+
+    assert path.read_bytes() == good_bytes
+    assert [p.name for p in tmp_path.iterdir()] == ["atomic.hubindex"]
+    # The surviving file still loads.
+    assert HubIndex.load(path, graph).hubs == index.hubs
+
+
+def test_save_to_new_path_under_write_failure_leaves_no_file(
+    tmp_path, monkeypatch
+):
+    graph = build_graph()
+    path = tmp_path / "never.hubindex"
+    index = HubIndex.build(graph, num_hubs=1, capacity=4)
+
+    import repro.core.hub_index as hub_index_module
+
+    monkeypatch.setattr(
+        hub_index_module.os,
+        "fsync",
+        lambda fd: (_ for _ in ()).throw(OSError("disk full")),
+    )
+    with pytest.raises(OSError, match="disk full"):
+        index.save(path)
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_save_replaces_existing_file_atomically(tmp_path):
+    # Overwriting an index goes through the same temp+replace dance; the
+    # final file is the new payload and no temp residue remains.
+    graph = build_graph()
+    path = tmp_path / "replace.hubindex"
+    small = HubIndex.build(graph, num_hubs=1, capacity=4)
+    small.save(path)
+    big = HubIndex.build(graph, num_hubs=2, capacity=4)
+    big.save(path)
+    assert [p.name for p in tmp_path.iterdir()] == ["replace.hubindex"]
+    assert HubIndex.load(path, graph).hubs == big.hubs
+
+
 def test_engine_adopts_loaded_index(tmp_path):
     graph = build_graph()
     path = tmp_path / "adopt.hubindex"
