@@ -96,6 +96,15 @@ class ReverseKRanksEngine:
         Optional prebuilt :class:`~repro.core.hub_index.HubIndex` for the
         indexed algorithm; :meth:`build_index` constructs one in place.
 
+    Class attribute ``index_sync_threshold`` (overridable per instance)
+    bounds how far the worker pool's hub-index snapshots may lag the
+    master index's learning before the next parallel batch pushes a
+    fresh snapshot to the workers: once the master's
+    :attr:`~repro.core.hub_index.HubIndex.revision` has moved that many
+    ``record_*`` calls past the snapshot, :meth:`query_many` re-syncs.
+    Lag never affects correctness (every recorded rank is exact), only
+    how much work workers re-derive; ``1`` means "re-sync on any drift".
+
     An engine answers **one query at a time**: it owns a single
     :class:`~repro.traversal.arena.ScratchArena` (plus CSR/mask caches
     and a learning hub index) that its queries share, so calling
@@ -104,6 +113,16 @@ class ReverseKRanksEngine:
     or ``query_many(workers=N)``, whose parallelism lives in worker
     processes each owning a private engine.
     """
+
+    #: Re-snapshot the worker pool's hub index once the master has
+    #: learned this many record_* calls past the workers' snapshot.
+    index_sync_threshold: int = 1024
+
+    #: Smallest unique-query batch worth dispatching on the worker pool.
+    #: Below this, ``query_many(workers=N)`` falls back to the sequential
+    #: path (one query can't amortise the IPC round trip).  Serving
+    #: benchmarks lower it to 1 to measure per-request dispatch cost.
+    parallel_min_batch: int = 2
 
     def __init__(
         self,
@@ -142,6 +161,11 @@ class ReverseKRanksEngine:
         self._pool_version: Optional[int] = None
         self._pool_context: Optional[str] = None
         self._pool_index = None
+        # The master index's learned-state revision at the moment the
+        # workers' snapshot was taken; when the master drifts past it by
+        # index_sync_threshold record_* calls, _ensure_pool re-snapshots
+        # the workers (see WorkerPool.update_index).
+        self._pool_index_revision: Optional[int] = None
         # Reusable epoch-stamped scratch memory, threaded through every
         # SDS-tree query this engine answers (worker-process engines get
         # their own).  Graph mutations don't invalidate it: it only grows,
@@ -353,10 +377,14 @@ class ReverseKRanksEngine:
         cache_size:
             Capacity of the per-batch LRU result cache; ``None``/``0``
             disables caching.  Cache hits return the same
-            :class:`~repro.core.types.QueryResult` object.  Sequential
-            execution only — in parallel mode, route repeated queries to
-            the worker that already learned them with
-            ``shard_policy="affinity"`` instead.
+            :class:`~repro.core.types.QueryResult` object.  In parallel
+            mode a truthy ``cache_size`` deduplicates repeated queries
+            parent-side before shard planning (only unique queries are
+            dispatched; the capacity bound is irrelevant there because
+            the whole batch's unique set is kept), and duplicate
+            positions share one result object just like sequential
+            cache hits.  ``last_batch_stats`` then aggregates over the
+            *dispatched* unique queries, not the duplicated positions.
         workers:
             With ``workers > 1``, the batch is sharded across that many
             persistent worker processes (see :mod:`repro.parallel`): each
@@ -400,18 +428,9 @@ class ReverseKRanksEngine:
         list of QueryResult
             One result per query, in input order.
         """
-        kind = AlgorithmKind(algorithm)
         check_stats_mode(stats)
         batch = list(queries)
-        check_positive_k(k)
-        for query in batch:
-            self._validate_query_node(query)
-        # After the node checks so absent-node errors take precedence, but
-        # unconditionally so an empty batch still validates k.
-        self._validate_k_limit(k)
-        if kind is AlgorithmKind.INDEXED:
-            self._require_monochromatic_index()
-            self._index.ensure_compatible(self._graph, k)
+        kind = self.validate_batch(batch, k, algorithm)
 
         if not is_positive_int(workers):
             raise ParallelExecutionError(
@@ -423,11 +442,28 @@ class ReverseKRanksEngine:
                     "parallel execution ships the CSR compilation to the "
                     "workers; use_csr=False and workers > 1 are incompatible"
                 )
-            if len(batch) > 1:
-                return self._query_many_parallel(
-                    batch, k, kind, bounds, workers, shard_policy,
+            # The result cache, parallel-side: repeated queries are
+            # deduplicated *before* shard planning (k/algorithm/bounds are
+            # batch constants, so the cache key degenerates to the query
+            # node) and the unique results fanned back out afterwards —
+            # duplicate positions share one QueryResult object, exactly
+            # like a sequential cache hit.  Previously the parallel branch
+            # silently ignored cache_size and dispatched every duplicate.
+            dispatch = batch
+            if cache_size and cache_size > 0:
+                dispatch = list(dict.fromkeys(batch))
+            if len(dispatch) >= max(1, self.parallel_min_batch):
+                unique = self._query_many_parallel(
+                    dispatch, k, kind, bounds, workers, shard_policy,
                     worker_context, stats,
                 )
+                if len(dispatch) == len(batch):
+                    return unique
+                by_query = dict(zip(dispatch, unique))
+                return [by_query[query] for query in batch]
+            # Batch too small to amortise dispatch (and an empty batch
+            # has nothing to shard) — fall through to the sequential
+            # path, whose LRU serves the duplicates.
 
         backend: Optional[CompactGraph] = (
             self.compact_graph() if use_csr else None
@@ -459,6 +495,41 @@ class ReverseKRanksEngine:
         self.last_batch_ipc_bytes = 0
         return results
 
+    def validate_batch(
+        self,
+        queries: Iterable[NodeId],
+        k: int,
+        algorithm: Union[AlgorithmKind, str] = AlgorithmKind.DYNAMIC,
+    ) -> AlgorithmKind:
+        """Validate a batch exactly as :meth:`query_many` would, without running it.
+
+        Returns the resolved :class:`AlgorithmKind`.  The serve layer
+        calls this at admission time so one client's bad request fails
+        *that* request instead of poisoning the coalesced batch it would
+        have been folded into.
+        """
+        kind = AlgorithmKind(algorithm)
+        check_positive_k(k)
+        for query in queries:
+            self._validate_query_node(query)
+        # After the node checks so absent-node errors take precedence, but
+        # unconditionally so an empty batch still validates k.
+        self._validate_k_limit(k)
+        if kind is AlgorithmKind.INDEXED:
+            self._require_monochromatic_index()
+            self._index.ensure_compatible(self._graph, k)
+        return kind
+
+    def export_state(self) -> Optional[dict]:
+        """Picklable snapshot of the engine's learned hub-index state.
+
+        Delegates to :meth:`HubIndex.export_state`; ``None`` when the
+        engine holds no index.  Two engines whose pickled exports are
+        equal answer indexed queries with identical work — the equality
+        the journal-replay tests and the restart smoke job assert.
+        """
+        return self._index.export_state() if self._index is not None else None
+
     # ------------------------------------------------------------------
     # Parallel execution (repro.parallel)
     # ------------------------------------------------------------------
@@ -483,6 +554,7 @@ class ReverseKRanksEngine:
             self._pool.close()
             self._pool = None
             self._pool_index = None
+            self._pool_index_revision = None
             self._pool_version = None
             self._pool_context = None
 
@@ -493,15 +565,24 @@ class ReverseKRanksEngine:
         self.close_pool()
 
     def _ensure_pool(self, workers: int, worker_context: Optional[str]):
-        """The cached worker pool, rebuilt when its key went stale.
+        """The cached worker pool, rebuilt or re-synced when its key drifted.
 
-        The key is (worker count, start method, graph mutation version,
-        index identity): a mutated graph means the workers hold a wrong
-        compilation, and a replaced/new index means their snapshots no
-        longer descend from the engine's master.  A *warming* master
-        index does not invalidate the pool — worker snapshots merely lag,
-        which costs recomputation, never correctness (every recorded rank
-        is exact).
+        The *rebuild* key is (worker count, start method, graph mutation
+        version): a mutated graph means the workers hold a wrong
+        compilation, and process count / start method cannot change in
+        place.  Hub-index drift no longer rebuilds the pool — the workers
+        are *re-synced* in place via
+        :meth:`~repro.parallel.pool.WorkerPool.update_index` whenever the
+        master index was replaced (a new object may carry a different
+        capacity, which worker-side k validation must agree with) or its
+        learned-state :attr:`~repro.core.hub_index.HubIndex.revision` has
+        drifted at least :attr:`index_sync_threshold` ``record_*`` calls
+        past the workers' snapshot.  Previously the snapshot was keyed by
+        index *identity* only, so everything the master learned between
+        batches (sequential queries, ``merge_delta``, journal replay)
+        never reached the workers and they kept re-deriving ranks the
+        master already knew.  Lag costs recomputation, never correctness
+        (every recorded rank is exact).
         """
         from repro.parallel import WorkerPool
 
@@ -512,7 +593,9 @@ class ReverseKRanksEngine:
                 or self._pool.num_workers != workers
                 or self._pool_version != version
                 or self._pool_context != worker_context
-                or self._pool_index is not self._index
+                # The engine can gain or swap an index in place (the
+                # workers adopt the new snapshot), but not un-set one.
+                or (self._index is None and self._pool_index is not None)
             )
             if stale:
                 self.close_pool()
@@ -533,6 +616,24 @@ class ReverseKRanksEngine:
             self._pool_version = version
             self._pool_context = worker_context
             self._pool_index = self._index
+            self._pool_index_revision = (
+                self._index.revision if self._index is not None else None
+            )
+        elif self._index is not None:
+            threshold = max(1, self.index_sync_threshold)
+            drifted = (
+                self._pool_index is not self._index
+                or self._pool_index_revision is None
+                or self._index.revision - self._pool_index_revision >= threshold
+            )
+            if drifted:
+                try:
+                    self._pool.update_index(self._index.export_state())
+                except WorkerCrashError:
+                    self.close_pool()
+                    raise
+                self._pool_index = self._index
+                self._pool_index_revision = self._index.revision
         return self._pool
 
     def _query_many_parallel(

@@ -135,6 +135,7 @@ class HubIndex:
         "_check",
         "_explored",
         "_learning_log",
+        "_revision",
     )
 
     def __init__(self, graph, capacity: int, hubs=()) -> None:
@@ -159,6 +160,9 @@ class HubIndex:
         self._explored: Dict[NodeId, int] = {}
         #: live :class:`HubIndexDelta` capturing record_* calls, or ``None``
         self._learning_log: Optional[HubIndexDelta] = None
+        #: monotonic count of record_rank/record_exploration calls — the
+        #: learned-state revision (see :attr:`revision`)
+        self._revision = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -304,7 +308,7 @@ class HubIndex:
     # ------------------------------------------------------------------
     # Persistence (stdlib-only; lets servers restart warm)
     # ------------------------------------------------------------------
-    def save(self, path) -> Path:
+    def save(self, path, meta: Optional[Dict[str, object]] = None) -> Path:
         """Serialise the index to ``path`` (magic prefix + stdlib :mod:`pickle`).
 
         The payload carries a versioned header — format marker, I/O
@@ -315,6 +319,15 @@ class HubIndex:
         not computed on, including a graph with the same shape but
         different weights.  The graph itself is *not* serialised; pass it
         to :meth:`load`.
+
+        ``meta`` is an optional caller-owned dictionary stored verbatim
+        alongside the index and returned by :meth:`load_with_meta`; the
+        durable-store layer (:mod:`repro.serve.journal`) uses it to
+        record, atomically *inside* the snapshot, the journal sequence
+        number the snapshot folds in — the fact that makes
+        snapshot-then-journal-replay idempotent across a crash between
+        the two compaction steps.  Files written without ``meta`` load
+        with an empty one.
 
         .. warning::
            The payload is pickle-based.  Only load index files from
@@ -354,6 +367,7 @@ class HubIndex:
             "reverse": self._reverse,
             "check": self._check,
             "explored": self._explored,
+            "meta": dict(meta or {}),
         }
         target = Path(path)
         descriptor, temp_name = tempfile.mkstemp(
@@ -381,6 +395,16 @@ class HubIndex:
     @classmethod
     def load(cls, path, graph) -> "HubIndex":
         """Deserialise an index from ``path`` and bind it to ``graph``.
+
+        See :meth:`load_with_meta`, which this delegates to (dropping the
+        caller metadata), for the validation contract.
+        """
+        index, _ = cls.load_with_meta(path, graph)
+        return index
+
+    @classmethod
+    def load_with_meta(cls, path, graph) -> Tuple["HubIndex", Dict[str, object]]:
+        """Deserialise an index plus the caller ``meta`` dict :meth:`save` stored.
 
         Only use ``path``\\ s you trust: the on-disk format is pickle-based
         (see the :meth:`save` warning); the magic-prefix check runs before
@@ -468,7 +492,8 @@ class HubIndex:
         index._reverse = payload["reverse"]
         index._check = payload["check"]
         index._explored = payload["explored"]
-        return index
+        # Pre-meta files (io_version 1 predates the field) load with {}.
+        return index, dict(payload.get("meta") or {})
 
     # ------------------------------------------------------------------
     # Snapshots, learning deltas and merging (the repro.parallel surface)
@@ -603,6 +628,21 @@ class HubIndex:
         """Total number of exact rank entries stored."""
         return sum(len(targets) for targets in self._known.values())
 
+    @property
+    def revision(self) -> int:
+        """Monotonic learned-state revision of this index *object*.
+
+        Incremented by every :meth:`record_rank` /
+        :meth:`record_exploration` call (including those replayed by
+        :meth:`merge_delta`), so a consumer holding a point-in-time
+        snapshot — the worker pool — can cheaply tell how far the master
+        has learned past it and re-snapshot when the drift crosses a
+        threshold.  The counter is local to the object: it is *not*
+        serialised by :meth:`export_state`/:meth:`save` (a freshly loaded
+        or rebuilt index starts at whatever its construction recorded).
+        """
+        return self._revision
+
     def explored_count(self, node: NodeId) -> int:
         """Total nodes settled by explorations from ``node``."""
         return self._explored.get(node, 0)
@@ -685,6 +725,7 @@ class HubIndex:
         current = self._check.get(source)
         if current is None or rank > current:
             self._check[source] = rank
+        self._revision += 1
         log = self._learning_log
         if log is not None:
             log.ranks[(source, target)] = rank
@@ -692,6 +733,7 @@ class HubIndex:
     def record_exploration(self, node: NodeId, settled: int) -> None:
         """Account one exploration from ``node`` that settled ``settled`` nodes."""
         self._explored[node] = self._explored.get(node, 0) + settled
+        self._revision += 1
         log = self._learning_log
         if log is not None:
             log.explorations[node] = log.explorations.get(node, 0) + settled

@@ -178,6 +178,34 @@ class WorkerCrashError(ParallelExecutionError):
         self.positions = None if positions is None else tuple(positions)
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class JournalCorruptionError(ServeError, ValueError):
+    """Raised when a learned-index journal is corrupted beyond its tail.
+
+    A *torn tail* — the one partially-written record a kill -9 mid-append
+    can leave — is healed silently (the journal truncates back to its
+    last complete record).  This error means something worse: a bad
+    header, a CRC-mismatched record *followed by more data*, or an
+    undecodable payload behind a valid CRC — corruption that replaying
+    past would silently drop durable learning.
+    """
+
+
+class ProtocolError(ServeError, ValueError):
+    """Raised when a serve-protocol frame is malformed or oversized."""
+
+
+class ServerOverloadedError(ServeError, RuntimeError):
+    """Raised client-side when the server sheds the request (backpressure).
+
+    The server's admission queue was full; the request was rejected
+    *before* any work was done, so retrying after a backoff is safe.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a synthetic dataset cannot be generated or loaded."""
 

@@ -390,6 +390,45 @@ class WorkerPool:
             outputs, batch_size=plan.num_queries, csr=self._graph
         )
 
+    def update_index(self, index_state: Dict[str, object]) -> None:
+        """Broadcast a fresh hub-index snapshot to every worker (blocking).
+
+        Each worker rebuilds its private index from ``index_state`` (an
+        :meth:`~repro.core.hub_index.HubIndex.export_state` snapshot) and
+        adopts it into its engine, replacing whatever snapshot it held —
+        the in-place alternative to tearing the pool down whenever the
+        master index learns or is rebuilt.  Returns once every worker has
+        acknowledged, so the next :meth:`run_batch` is guaranteed to run
+        on the new state.
+
+        Raises
+        ------
+        ParallelExecutionError
+            When the pool is closed or a worker failed to adopt the
+            snapshot (remote traceback embedded).
+        WorkerCrashError
+            When a worker process died during the sync.
+        """
+        if self._closed:
+            raise ParallelExecutionError(
+                "cannot update the index on a closed WorkerPool"
+            )
+        job_id = next(self._job_ids)
+        for task_queue in self._task_queues:
+            task_queue.put(("index", job_id, index_state))
+        pending = self._num_workers
+        while pending:
+            message_kind, worker_id, message_job, payload = self._receive()
+            if message_job != job_id:
+                continue
+            if message_kind == "error":
+                raise ParallelExecutionError(
+                    f"worker {worker_id} failed to adopt the hub-index "
+                    f"snapshot:\n{payload}"
+                )
+            pending -= 1
+        self._has_index = True
+
     def run_hub_build(self, hubs, explore_limit: int, capacity: int):
         """Explore ``hubs`` across the workers; returns deltas in hub order.
 

@@ -41,7 +41,9 @@ Message protocol (all tuples, queue-pickled)
   ``("query", job_id, positions, queries, k, algorithm_value, bounds,
   collect_delta, stats_mode)`` for a query shard,
   ``("hubs", job_id, hubs, explore_limit, capacity)`` for a hub-index
-  build shard, or ``None`` to shut down.
+  build shard, ``("index", job_id, index_state)`` to adopt a fresher
+  hub-index snapshot (acknowledged with a bare ``"done"``), or ``None``
+  to shut down.
 * worker -> parent: ``(kind, worker_id, job_id, payload)`` where ``kind``
   is ``"ready"`` (startup complete), ``"done"`` (payload is
   ``(positions, block, delta)`` for a query shard — ``block`` a flat
@@ -166,6 +168,21 @@ class _WorkerState:
         )
         return tuple(positions), block, delta
 
+    def update_index(self, index_state) -> None:
+        """Replace the engine's hub-index snapshot with a fresher one.
+
+        The pool broadcasts the master's
+        :meth:`~repro.core.hub_index.HubIndex.export_state` whenever the
+        master has learned past the workers' snapshots (or was rebuilt);
+        adopting it keeps this worker answering with the same knowledge —
+        and the same capacity bound — as the master.
+        """
+        from repro.core.hub_index import HubIndex
+
+        self.engine.adopt_index(
+            HubIndex.from_state(self.engine.graph, index_state)
+        )
+
     def run_hub_shard(self, hubs, explore_limit, capacity):
         """Explore ``hubs`` and return the learned :class:`HubIndexDelta`.
 
@@ -245,6 +262,10 @@ def worker_main(worker_id: int, init_bytes: bytes, task_queue, result_queue) -> 
                 elif tag == "hubs":
                     hubs, explore_limit, capacity = task[2:]
                     payload = state.run_hub_shard(hubs, explore_limit, capacity)
+                elif tag == "index":
+                    (index_state,) = task[2:]
+                    state.update_index(index_state)
+                    payload = None
                 else:
                     raise ValueError(f"unknown worker task tag {tag!r}")
             except BaseException:

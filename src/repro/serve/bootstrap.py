@@ -1,0 +1,126 @@
+"""Shared startup plumbing for the serve CLI, load generator and smoke jobs.
+
+Turning a fixture spec (or a dataset file) into a warm, durable engine is
+the same three steps everywhere — build the graph, load-or-build the
+learned index through the :class:`~repro.serve.journal.DurableIndexStore`,
+wrap an engine around it — so they live here once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bench.workloads import (
+    Workload,
+    gnp_workload,
+    grid_workload,
+    lattice_workload,
+    path_workload,
+    powerlaw_workload,
+)
+from repro.core.engine import ReverseKRanksEngine
+from repro.errors import ServeError
+from repro.serve.journal import DurableIndexStore
+
+__all__ = [
+    "FIXTURE_FAMILIES",
+    "parse_fixture",
+    "prepare_engine",
+]
+
+#: Monochromatic fixture families servable out of the box (the
+#: bichromatic family is excluded: the indexed algorithm — the one the
+#: durable journal exists for — is monochromatic-only).
+FIXTURE_FAMILIES = {
+    "path": path_workload,
+    "grid": grid_workload,
+    "gnp": gnp_workload,
+    "powerlaw": powerlaw_workload,
+    "lattice": lattice_workload,
+}
+
+
+def parse_fixture(spec: str) -> Workload:
+    """Build the workload named by a ``family[:size[:seed]]`` spec.
+
+    ``size`` is the generator's leading size parameter (nodes for
+    path/gnp/powerlaw, side length for grid/lattice); both it and
+    ``seed`` default to the generator's own defaults.  Examples:
+    ``gnp``, ``gnp:200``, ``powerlaw:300:7``.
+    """
+    parts = spec.split(":")
+    family = parts[0]
+    generator = FIXTURE_FAMILIES.get(family)
+    if generator is None:
+        raise ServeError(
+            f"unknown fixture family {family!r}; "
+            f"choose from {sorted(FIXTURE_FAMILIES)}"
+        )
+    if len(parts) > 3:
+        raise ServeError(
+            f"fixture spec {spec!r} has too many fields; "
+            "expected family[:size[:seed]]"
+        )
+    kwargs = {}
+    try:
+        if len(parts) > 1 and parts[1]:
+            size = int(parts[1])
+            # Every generator's first parameter is its size knob, but the
+            # name differs per family.
+            if family in ("grid", "lattice"):
+                kwargs["side"] = size
+            else:
+                kwargs["num_nodes"] = size
+        if len(parts) > 2 and parts[2]:
+            kwargs["seed"] = int(parts[2])
+    except ValueError as exc:
+        raise ServeError(
+            f"fixture spec {spec!r}: size and seed must be integers"
+        ) from exc
+    return generator(**kwargs)
+
+
+def prepare_engine(
+    workload: Workload,
+    store: Optional[DurableIndexStore] = None,
+    num_hubs="auto",
+    explore_limit="auto",
+    capacity: int = 16,
+    workers: int = 1,
+    worker_context: Optional[str] = None,
+) -> Tuple[ReverseKRanksEngine, bool]:
+    """Engine around ``workload.graph`` with a warm, optionally durable index.
+
+    With a ``store``: an existing snapshot (+ journal replay) is adopted
+    — the restarted server resumes exactly as learned as it stopped —
+    and a first boot builds the index and installs it as the store's
+    base snapshot.  Without a store the index is simply built in
+    process.
+
+    Returns ``(engine, restored)`` where ``restored`` says whether the
+    index came from the store rather than a fresh build.
+    """
+    engine = ReverseKRanksEngine(workload.graph, partition=workload.partition)
+    if workload.partition is not None:
+        if store is not None:
+            raise ServeError(
+                "durable learned state is monochromatic-only (bichromatic "
+                "engines have no hub index to journal)"
+            )
+        return engine, False
+    if store is not None:
+        index = store.load(workload.graph)
+        if index is not None:
+            engine.adopt_index(index)
+            return engine, True
+    index_params = dict(workload.index_params)
+    engine.build_index(
+        num_hubs=index_params.get("num_hubs", num_hubs),
+        explore_limit=index_params.get("explore_limit", explore_limit),
+        capacity=capacity,
+        workers=workers,
+        worker_context=worker_context,
+    )
+    if store is not None:
+        store.install(engine.index)
+    return engine, False

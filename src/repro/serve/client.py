@@ -1,0 +1,131 @@
+"""Blocking client for the query service (stdlib only).
+
+One :class:`ServeClient` wraps one connection; requests on a connection
+are strictly sequential (send one frame, read one frame), so share a
+client across threads only behind your own lock — or give each thread
+its own, which is what the closed-loop load generator does.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Tuple
+
+from repro.errors import ProtocolError, ServeError, ServerOverloadedError
+from repro.serve.protocol import recv_message, send_message
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Connect to a :class:`~repro.serve.server.QueryServer` and talk to it.
+
+    Parameters mirror the server's transports: give ``host``/``port`` for
+    TCP or ``unix_path`` for a unix domain socket (which wins when both
+    are given).  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix_path)
+        else:
+            if port is None:
+                raise ServeError("ServeClient needs a port (or a unix_path)")
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+            # Frames are small and latency-bound; don't let Nagle delay
+            # the final segment of a request.
+            self._sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+
+    # ------------------------------------------------------------------
+    def _call(self, message: dict) -> dict:
+        send_message(self._sock, message)
+        response = recv_message(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if response.get("ok"):
+            return response
+        if response.get("overloaded"):
+            raise ServerOverloadedError(
+                response.get("error", "server overloaded")
+            )
+        raise ServeError(response.get("error", "request failed"))
+
+    # ------------------------------------------------------------------
+    def query_many(
+        self,
+        queries: List,
+        k: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ) -> List[List[Tuple[object, float]]]:
+        """Answer a batch; one ``[(node, rank), ...]`` list per query.
+
+        Omitted ``k``/``algorithm`` use the server's configured defaults.
+
+        Raises
+        ------
+        ServerOverloadedError
+            When admission control refused the request; safe to retry —
+            no work was done.
+        ServeError
+            On any other server-reported failure (bad node, bad k, ...).
+        """
+        message = {"op": "query", "queries": list(queries)}
+        if k is not None:
+            message["k"] = k
+        if algorithm is not None:
+            message["algorithm"] = algorithm
+        response = self._call(message)
+        return [
+            [(node, rank) for node, rank in result]
+            for result in response["results"]
+        ]
+
+    def query(
+        self,
+        query,
+        k: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ) -> List[Tuple[object, float]]:
+        """Answer one query; returns its ``[(node, rank), ...]`` list."""
+        return self.query_many([query], k=k, algorithm=algorithm)[0]
+
+    def ping(self) -> bool:
+        """Round-trip a liveness probe (never enters the batch queue)."""
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def info(self) -> dict:
+        """The server's static configuration and graph shape."""
+        return self._call({"op": "info"})
+
+    def stats(self) -> dict:
+        """Live counters: batches, queries, overloads, journal state."""
+        return self._call({"op": "stats"})
+
+    def shutdown(self) -> None:
+        """Ask the server to stop gracefully (acknowledged before it does)."""
+        self._call({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb) -> None:
+        self.close()

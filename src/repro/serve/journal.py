@@ -1,0 +1,451 @@
+"""Durable learned-index state: the delta journal and its snapshot store.
+
+The always-on server keeps answering indexed queries cheaper because the
+hub index *learns* (Algorithm 4).  This module makes that learning
+survive a restart — including a kill -9 — with two pieces:
+
+* :class:`DeltaJournal` — an append-only file of
+  :class:`~repro.core.hub_index.HubIndexDelta` records, each framed as a
+  little-endian ``(length, crc32)`` header plus a pickled payload, and
+  fsynced at batch boundaries.  A crash mid-append leaves a *torn tail
+  record*, which the next open detects and truncates away; corruption
+  anywhere **before** the tail (a CRC mismatch followed by more data) is
+  not silently skippable and raises
+  :class:`~repro.errors.JournalCorruptionError` instead.
+
+* :class:`DurableIndexStore` — a directory pairing one atomic
+  :meth:`~repro.core.hub_index.HubIndex.save` snapshot with one journal.
+  Batches append deltas; once the journal outgrows a threshold the store
+  *compacts*: it folds everything into a fresh snapshot and resets the
+  journal.  Restart replays snapshot + journal and the rebuilt index is
+  **bit-identical** (pickled ``export_state`` equality) to one that
+  never restarted.
+
+Crash-safety of compaction
+--------------------------
+Compaction is two steps — write snapshot, reset journal — and a crash
+can land between them.  Replaying the old journal on top of the new
+snapshot would double-apply exploration counters (they are additive), so
+every journal record carries a monotonically increasing **sequence
+number**, and the snapshot records (atomically, inside its own payload
+via ``save(meta=...)``) the sequence it already folds in.  Replay skips
+records at or below the snapshot's sequence; applying the journal is
+therefore idempotent whichever side of the compaction the crash fell on.
+
+Durability windows: a delta is durable once :meth:`DeltaJournal.append`
+returns with ``sync=True`` (the server appends *before* releasing client
+responses, so any answered query's learning survives).  A kill -9 loses
+at most the in-flight, not-yet-fsynced batch.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.core.hub_index import HubIndex, HubIndexDelta
+from repro.errors import JournalCorruptionError
+
+__all__ = ["DeltaJournal", "DurableIndexStore"]
+
+#: File magic: the journal's first 16 bytes.  Versioned like the
+#: hub-index snapshot magic; bump on any frame-format change.
+JOURNAL_MAGIC = b"REPRO-JOURNAL/1\n"
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: Sanity cap on one record's payload.  A single batch delta is a few
+#: KiB; anything near this is a corrupted length field.
+_MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+
+def _fsync_directory(path: Path) -> None:
+    """fsync a directory so a just-renamed file survives power loss.
+
+    Best-effort: some platforms/filesystems refuse O_RDONLY directory
+    fds; the rename itself is still atomic there.
+    """
+    try:
+        descriptor = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(descriptor)
+
+
+class DeltaJournal:
+    """An append-only, CRC-framed, torn-tail-tolerant delta journal.
+
+    Opening scans the whole file: the valid record prefix is parsed, a
+    torn tail (the partial record a crash mid-append leaves) is
+    truncated away, and appends then continue from the healed end.  Use
+    :meth:`entries` for the records the open found; :meth:`append` to
+    add more; :meth:`reset` to atomically replace the file with an empty
+    one (the compaction step).
+
+    Records are ``(seq, HubIndexDelta)`` pairs; ``seq`` is assigned by
+    the caller (:class:`DurableIndexStore` keeps it monotonic across
+    resets) and is what makes replay idempotent.
+
+    The payload is pickle-based like every repro on-disk format: only
+    open journal files your own deployment wrote (the CRC catches
+    corruption, not tampering).
+    """
+
+    def __init__(self, path, sync: bool = True) -> None:
+        self.path = Path(path)
+        self._sync = sync
+        self._entries: List[Tuple[int, HubIndexDelta]] = []
+        self._last_seq = 0
+        created = not self.path.exists() or self.path.stat().st_size == 0
+        # "a+" then reopen: create the file if missing without clobbering
+        # an existing one, then take the real read/write handle.
+        if created:
+            with open(self.path, "ab") as handle:
+                handle.write(JOURNAL_MAGIC)
+                handle.flush()
+                os.fsync(handle.fileno())
+            _fsync_directory(self.path.parent)
+        self._handle = open(self.path, "r+b")
+        try:
+            valid_end = self._scan()
+            # Heal the torn tail, if any: truncate back to the last
+            # complete record so the next append cannot bury a partial
+            # frame mid-file (where it would read as real corruption).
+            self._handle.truncate(valid_end)
+            self._handle.seek(valid_end)
+        except BaseException:
+            self._handle.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _scan(self) -> int:
+        """Parse the file, fill ``_entries``; return the valid prefix end."""
+        handle = self._handle
+        handle.seek(0, os.SEEK_END)
+        file_size = handle.tell()
+        handle.seek(0)
+        magic = handle.read(len(JOURNAL_MAGIC))
+        if magic != JOURNAL_MAGIC:
+            raise JournalCorruptionError(
+                f"{self.path} is not a repro delta journal (bad magic); "
+                "refusing to append to it"
+            )
+        offset = len(JOURNAL_MAGIC)
+        while offset < file_size:
+            header = handle.read(_FRAME.size)
+            if len(header) < _FRAME.size:
+                return offset  # torn tail: partial frame header
+            length, crc = _FRAME.unpack(header)
+            if length > _MAX_RECORD_BYTES:
+                raise JournalCorruptionError(
+                    f"{self.path} record at offset {offset} claims "
+                    f"{length} bytes (cap {_MAX_RECORD_BYTES}); the journal "
+                    "is corrupted — restore from the snapshot and discard it"
+                )
+            payload = handle.read(length)
+            record_end = offset + _FRAME.size + length
+            if len(payload) < length:
+                return offset  # torn tail: payload cut short by the crash
+            if zlib.crc32(payload) != crc:
+                if record_end >= file_size:
+                    # CRC mismatch on the *final* record: a torn write the
+                    # filesystem padded, or bit-rot at the tail.  Either
+                    # way nothing durable follows it — drop it.
+                    return offset
+                raise JournalCorruptionError(
+                    f"{self.path} record at offset {offset} fails its CRC "
+                    "check with more records following — mid-file "
+                    "corruption cannot be skipped safely; restore from "
+                    "the snapshot and discard the journal"
+                )
+            try:
+                record = pickle.loads(payload)
+                seq = int(record["seq"])
+                delta = record["delta"]
+                if not isinstance(delta, HubIndexDelta):
+                    raise TypeError(type(delta).__name__)
+            except JournalCorruptionError:
+                raise
+            except Exception as exc:
+                # The CRC passed, so the bytes are what append() wrote —
+                # an undecodable payload is a format bug, not bit-rot.
+                raise JournalCorruptionError(
+                    f"{self.path} record at offset {offset} has a valid "
+                    f"CRC but an undecodable payload "
+                    f"({type(exc).__name__}: {exc})"
+                ) from exc
+            if seq <= self._last_seq:
+                raise JournalCorruptionError(
+                    f"{self.path} record at offset {offset} has sequence "
+                    f"{seq} <= preceding {self._last_seq}; sequences must "
+                    "increase strictly"
+                )
+            self._entries.append((seq, delta))
+            self._last_seq = seq
+            offset = record_end
+        return offset
+
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Highest record sequence in the journal (0 when empty)."""
+        return self._last_seq
+
+    @property
+    def num_records(self) -> int:
+        """How many complete records the journal holds."""
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        """Current journal file size (the compaction trigger input)."""
+        return self._handle.tell()
+
+    def entries(self) -> List[Tuple[int, HubIndexDelta]]:
+        """The ``(seq, delta)`` records, oldest first (copy)."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def append(self, seq: int, delta: HubIndexDelta, sync: Optional[bool] = None) -> int:
+        """Append one record; returns the journal size afterwards.
+
+        With ``sync`` (defaulting to the journal's construction-time
+        setting) the record is fsynced before returning — the server's
+        batch-boundary durability point.
+        """
+        if seq <= self._last_seq:
+            raise ValueError(
+                f"journal sequence must increase: got {seq} after "
+                f"{self._last_seq}"
+            )
+        payload = pickle.dumps(
+            {"seq": seq, "delta": delta}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        self._handle.write(payload)
+        self._handle.flush()
+        if self._sync if sync is None else sync:
+            os.fsync(self._handle.fileno())
+        self._entries.append((seq, delta))
+        self._last_seq = seq
+        return self._handle.tell()
+
+    def reset(self) -> None:
+        """Atomically replace the journal with an empty one.
+
+        A fresh magic-only file is written to a temp name, fsynced, and
+        renamed over the journal (then the directory is fsynced), so a
+        crash mid-reset leaves either the old complete journal or the
+        new empty one — never a truncated hybrid.  ``last_seq`` is
+        preserved in memory so subsequent appends keep the sequence
+        strictly increasing across the reset.
+        """
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(self.path.parent) or ".",
+            prefix=f".{self.path.name}.",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(JOURNAL_MAGIC)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        _fsync_directory(self.path.parent)
+        self._handle.close()
+        self._handle = open(self.path, "r+b")
+        self._handle.seek(0, os.SEEK_END)
+        self._entries = []
+
+    def close(self) -> None:
+        """Close the file handle.  Idempotent."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "DeltaJournal":
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<DeltaJournal {self.path} records={len(self._entries)} "
+            f"last_seq={self._last_seq}>"
+        )
+
+
+class DurableIndexStore:
+    """Snapshot + journal in one directory; the server's durable memory.
+
+    Layout: ``<directory>/index.snapshot`` (an atomic
+    :meth:`HubIndex.save` file whose ``meta`` records the folded-in
+    journal sequence) and ``<directory>/journal.bin`` (a
+    :class:`DeltaJournal`).
+
+    Lifecycle::
+
+        store = DurableIndexStore(state_dir)
+        index = store.load(graph)          # None on first boot
+        if index is None:
+            index = HubIndex.build(graph, ...)
+            store.install(index)           # base snapshot + empty journal
+        ...
+        store.record(delta)                # once per completed batch (fsync)
+        store.maybe_compact(index)         # folds journal past the threshold
+
+    :meth:`load` replays journal records **after** the snapshot's folded
+    sequence through :meth:`HubIndex.merge_delta`, in record order — the
+    same ``record_rank`` call sequence the live index executed, so the
+    replayed index's ``export_state`` is pickle-identical to a
+    never-restarted one's.
+    """
+
+    SNAPSHOT_NAME = "index.snapshot"
+    JOURNAL_NAME = "journal.bin"
+    #: ``meta`` key naming the journal sequence a snapshot folds in.
+    META_SEQ = "journal_seq"
+
+    def __init__(
+        self,
+        directory,
+        compact_bytes: int = 4 * 1024 * 1024,
+        sync: bool = True,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshot_path = self.directory / self.SNAPSHOT_NAME
+        self.journal_path = self.directory / self.JOURNAL_NAME
+        self.compact_bytes = compact_bytes
+        self._journal = DeltaJournal(self.journal_path, sync=sync)
+        self._base_seq = 0
+        self._next_seq = self._journal.last_seq + 1
+        #: Compactions performed over this store's lifetime (stats).
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def journal(self) -> DeltaJournal:
+        """The underlying journal (tests and the stats op look at it)."""
+        return self._journal
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence recorded (snapshot- or journal-side)."""
+        return self._next_seq - 1
+
+    def has_snapshot(self) -> bool:
+        """Whether a base snapshot exists on disk."""
+        return self.snapshot_path.exists()
+
+    # ------------------------------------------------------------------
+    def load(self, graph) -> Optional[HubIndex]:
+        """Rebuild the learned index for ``graph``, or ``None`` on first boot.
+
+        Loads the snapshot (validating the graph fingerprint/digest as
+        :meth:`HubIndex.load` always does), then merges every journal
+        record whose sequence the snapshot does not already fold in.
+
+        Raises
+        ------
+        JournalCorruptionError
+            When journal records exist but no snapshot does — deltas
+            alone cannot reconstruct an index (they carry no hubs or
+            capacity), and silently dropping them would lose durable
+            learning someone paid for.
+        IndexParameterError
+            When the snapshot does not match ``graph`` (see
+            :meth:`HubIndex.load`).
+        """
+        if not self.snapshot_path.exists():
+            if self._journal.num_records:
+                raise JournalCorruptionError(
+                    f"{self.journal_path} holds {self._journal.num_records} "
+                    "journal records but no base snapshot exists at "
+                    f"{self.snapshot_path}; the snapshot was deleted or "
+                    "never installed — rebuild the index and discard the "
+                    "journal"
+                )
+            return None
+        index, meta = HubIndex.load_with_meta(self.snapshot_path, graph)
+        self._base_seq = int(meta.get(self.META_SEQ, 0))
+        applied = self._base_seq
+        for seq, delta in self._journal.entries():
+            if seq <= self._base_seq:
+                continue  # already folded into the snapshot (compaction crash)
+            if delta:
+                index.merge_delta(delta)
+            applied = seq
+        self._next_seq = max(applied, self._journal.last_seq, self._base_seq) + 1
+        return index
+
+    def install(self, index: HubIndex) -> None:
+        """Install a freshly built index as the store's base state."""
+        self.compact(index)
+        self.compactions -= 1  # the initial install is not a compaction
+
+    def record(self, delta: HubIndexDelta, sync: Optional[bool] = None) -> int:
+        """Journal one batch's learning; returns its sequence number.
+
+        Call *after* :meth:`~repro.core.hub_index.HubIndex.merge_delta`
+        (or after the master index learned in place) and *before*
+        releasing the batch's responses: once this returns with sync on,
+        the learning survives kill -9.
+        """
+        seq = self._next_seq
+        self._journal.append(seq, delta, sync=sync)
+        self._next_seq = seq + 1
+        return seq
+
+    def maybe_compact(self, index: HubIndex) -> bool:
+        """Compact when the journal has outgrown ``compact_bytes``."""
+        if self._journal.size_bytes < self.compact_bytes:
+            return False
+        self.compact(index)
+        return True
+
+    def compact(self, index: HubIndex) -> None:
+        """Fold the journal into a fresh snapshot, then reset the journal.
+
+        Both steps are individually atomic (temp + fsync + rename); the
+        sequence number stored *inside* the snapshot makes the pair
+        crash-safe — see the module docstring.
+        """
+        folded = self.last_seq
+        index.save(self.snapshot_path, meta={self.META_SEQ: folded})
+        _fsync_directory(self.directory)
+        self._journal.reset()
+        self._base_seq = folded
+        self.compactions += 1
+
+    def close(self) -> None:
+        """Close the journal handle.  Idempotent."""
+        self._journal.close()
+
+    def __enter__(self) -> "DurableIndexStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<DurableIndexStore {self.directory} last_seq={self.last_seq} "
+            f"journal_records={self._journal.num_records}>"
+        )

@@ -1,0 +1,663 @@
+"""The always-on reverse k-ranks query server.
+
+One resident :class:`~repro.core.engine.ReverseKRanksEngine` (with its
+warm hub index and, optionally, its persistent worker pool) answers
+queries from many concurrent clients.  Two ideas carry the design:
+
+* **Batch coalescing.**  Per-connection handler threads never touch the
+  engine; they enqueue admitted requests with a single :class:`_Batcher`
+  thread, which flushes either when ``max_batch`` requests are pending or
+  ``max_wait_ms`` after the oldest arrival — a *max-latency window*, so a
+  lone query never waits longer than the window, while a burst is folded
+  into one :meth:`~repro.core.engine.ReverseKRanksEngine.query_many`
+  call that amortises CSR reuse, hub-index learning, and (with
+  ``workers > 1``) shard dispatch across every concurrent client.
+
+* **Admission control.**  The pending queue is bounded
+  (``max_pending`` *queries*, not requests, so one giant batch cannot
+  sneak past the limit).  A request that would overflow it is refused
+  *immediately* with ``{"ok": false, "overloaded": true}`` — explicit
+  backpressure the client can retry on — instead of queueing unbounded
+  work.  Requests are also validated at admission
+  (:meth:`~repro.core.engine.ReverseKRanksEngine.validate_batch`), so
+  one client's bad node id fails that request alone, never the coalesced
+  batch it would have joined.
+
+Durability: with a :class:`~repro.serve.journal.DurableIndexStore`
+attached, each flushed batch's learning (captured with the master
+index's learning log — which sees both sequential ``record_*`` calls and
+parallel merge-backs) is journalled **and fsynced before any of the
+batch's responses are released**.  A client that has seen its answer can
+therefore kill -9 the server and find the learning still there on
+restart; at most the in-flight, unanswered batch is lost.
+
+Protocol (length-prefixed JSON, :mod:`repro.serve.protocol`): requests
+are objects with an ``"op"`` key —
+
+``{"op": "query", "queries": [n, ...], "k": K, "algorithm": "indexed"}``
+    → ``{"ok": true, "results": [[[node, rank], ...], ...]}`` (one
+    pair-list per query, ranks ascending, same order as ``queries``).
+``{"op": "ping"}``
+    → ``{"ok": true, "pong": true}`` (liveness; never queued).
+``{"op": "info"}`` / ``{"op": "stats"}``
+    → static configuration / live counters, respectively.
+``{"op": "shutdown"}``
+    → acknowledges, then stops the server gracefully.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import ReverseKRanksEngine
+from repro.core.config import AlgorithmKind
+from repro.errors import ProtocolError, ReproError, ServeError
+from repro.serve.journal import DurableIndexStore
+from repro.serve.protocol import recv_message, send_message
+
+__all__ = ["ServeConfig", "QueryServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Batching and admission knobs for :class:`QueryServer`.
+
+    ``max_batch``
+        Flush as soon as this many queries are pending (the coalescing
+        ceiling).  ``1`` degenerates to one-query-per-request — the
+        baseline the closed-loop benchmark compares against.
+    ``max_wait_ms``
+        Flush at latest this long after the *oldest* pending query
+        arrived — the worst case batching adds to a lone query's
+        latency.
+    ``max_pending``
+        Admission bound, counted in queries: a request whose queries
+        would push the pending count past this is refused with an
+        overloaded response instead of queued.
+    ``workers`` / ``worker_context``
+        Passed through to ``query_many``; with ``workers > 1`` each
+        coalesced batch is sharded across the engine's persistent
+        worker pool.
+    ``default_k`` / ``default_algorithm``
+        Applied to query requests that omit ``k`` / ``algorithm``.
+    """
+
+    max_batch: int = 64
+    max_wait_ms: float = 5.0
+    max_pending: int = 1024
+    workers: int = 1
+    worker_context: Optional[str] = None
+    default_k: int = 1
+    default_algorithm: str = "dynamic"
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ServeError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.max_pending < 1:
+            raise ServeError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+
+
+class _PendingRequest:
+    """One admitted query request waiting for its coalesced batch."""
+
+    __slots__ = ("queries", "k", "kind", "done", "results", "error")
+
+    def __init__(self, queries: List, k: int, kind: AlgorithmKind) -> None:
+        self.queries = queries
+        self.k = k
+        self.kind = kind
+        self.done = threading.Event()
+        self.results: Optional[List] = None
+        self.error: Optional[BaseException] = None
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.done.set()
+
+    def succeed(self, results: List) -> None:
+        self.results = results
+        self.done.set()
+
+
+class _Batcher:
+    """The single engine-owning thread: coalesce, execute, journal, release.
+
+    Handler threads call :meth:`submit`; this thread wakes on the first
+    pending request, sleeps out the remainder of its ``max_wait_ms``
+    window (flushing early when ``max_batch`` queries accumulate), then
+    drains everything pending, groups it by ``(k, algorithm)`` — requests
+    in one group share one ``query_many`` call — and journals the
+    learning before completing the requests.
+    """
+
+    def __init__(
+        self,
+        engine: ReverseKRanksEngine,
+        config: ServeConfig,
+        store: Optional[DurableIndexStore],
+    ) -> None:
+        self._engine = engine
+        self._config = config
+        self._store = store
+        self._lock = threading.Condition()
+        self._pending: List[_PendingRequest] = []
+        self._pending_queries = 0
+        self._oldest_arrival: Optional[float] = None
+        self._stopping = False
+        self._paused = False
+        # "Hot" = the engine just finished a batch: anything pending now
+        # arrived while it was busy, so flush immediately instead of
+        # waiting out the window (the window is a latency cap for
+        # arrivals during idle, not a mandatory delay at saturation).
+        self._hot = False
+        self._idle = threading.Condition(self._lock)
+        # Counters (read under the lock by the stats op).
+        self.batches = 0
+        self.queries = 0
+        self.requests = 0
+        self.overloads = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, request: _PendingRequest) -> bool:
+        """Admit ``request`` or refuse it; ``False`` means overloaded."""
+        with self._lock:
+            if self._stopping:
+                request.fail(ServeError("server is shutting down"))
+                return True
+            if (
+                self._pending_queries + len(request.queries)
+                > self._config.max_pending
+            ):
+                self.overloads += 1
+                return False
+            self._pending.append(request)
+            self._pending_queries += len(request.queries)
+            self.requests += 1
+            if self._oldest_arrival is None:
+                self._oldest_arrival = time.monotonic()
+            self._lock.notify_all()
+            return True
+
+    def pause(self) -> None:
+        """Hold flushing (tests use this to build a deterministic batch)."""
+        with self._lock:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._lock:
+            self._paused = False
+            self._lock.notify_all()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is pending (and no flush is mid-air)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._pending or self._pending_queries:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+            return True
+
+    def stop(self) -> None:
+        """Stop the thread; pending requests fail with a shutdown error."""
+        with self._lock:
+            self._stopping = True
+            self._paused = False
+            self._lock.notify_all()
+        self._thread.join()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            self._execute(batch)
+            with self._lock:
+                self._hot = True
+                # _pending_queries still counts the in-flight batch while
+                # it executes, so admission control covers queued + running
+                # work; release it only now.
+                self._pending_queries -= sum(
+                    len(request.queries) for request in batch
+                )
+                if not self._pending and not self._pending_queries:
+                    self._idle.notify_all()
+
+    def _collect(self) -> Optional[List[_PendingRequest]]:
+        """Wait out the batching window; return the drained batch.
+
+        Returns ``None`` exactly once, at shutdown, after failing any
+        stragglers.
+        """
+        window = self._config.max_wait_ms / 1000.0
+        with self._lock:
+            while True:
+                if self._stopping:
+                    for request in self._pending:
+                        request.fail(ServeError("server is shutting down"))
+                    self._pending.clear()
+                    self._pending_queries = 0
+                    self._idle.notify_all()
+                    return None
+                if self._pending and not self._paused:
+                    elapsed = time.monotonic() - self._oldest_arrival
+                    full = self._pending_queries >= self._config.max_batch
+                    if full or self._hot or elapsed >= window:
+                        # Drain at most max_batch queries: the limit caps
+                        # the engine call (bounded batch latency), not
+                        # just the flush trigger — a backlog is worked
+                        # off in max_batch-sized chunks, immediately
+                        # (leftovers keep the stale window, so the next
+                        # iteration flushes without waiting).  A single
+                        # request larger than max_batch still goes
+                        # through whole; admission already vetted it.
+                        batch: List[_PendingRequest] = []
+                        taken = 0
+                        while self._pending:
+                            request = self._pending[0]
+                            size = len(request.queries)
+                            if batch and taken + size > self._config.max_batch:
+                                break
+                            batch.append(self._pending.pop(0))
+                            taken += size
+                        if not self._pending:
+                            self._oldest_arrival = None
+                        # _pending_queries intentionally left counting the
+                        # batch until execution finishes (see _run).
+                        return batch
+                    self._lock.wait(window - elapsed)
+                elif self._hot:
+                    # Responses were just released: closed-loop clients
+                    # resubmit within about one socket round trip.  Give
+                    # the stream that long before declaring it idle, so a
+                    # saturating load never pays the full window between
+                    # consecutive batches.
+                    self._lock.wait(max(0.001, window / 4))
+                    if not self._pending:
+                        self._hot = False
+                else:
+                    # Truly idle: the next arrival starts a fresh window
+                    # (it should coalesce with its burst, not flush alone).
+                    self._lock.wait()
+
+    def _execute(self, batch: List[_PendingRequest]) -> None:
+        """Run one drained batch group-by-group, journal, then release."""
+        groups: Dict[Tuple[int, AlgorithmKind], List[_PendingRequest]] = {}
+        for request in batch:
+            groups.setdefault((request.k, request.kind), []).append(request)
+        index = self._engine.index
+        for (k, kind), requests in groups.items():
+            queries: List = []
+            for request in requests:
+                queries.extend(request.queries)
+            if index is not None:
+                index.start_learning_log()
+            try:
+                try:
+                    # cache_size=len(queries): concurrent clients asking
+                    # the same (query, k, algorithm) in one window share
+                    # a single execution — coalescing's dedupe half.
+                    results = self._engine.query_many(
+                        queries,
+                        k,
+                        algorithm=kind,
+                        workers=self._config.workers,
+                        worker_context=self._config.worker_context,
+                        cache_size=len(queries),
+                        stats="none",
+                    )
+                finally:
+                    delta = (
+                        index.pop_learning_log() if index is not None else None
+                    )
+            except BaseException as exc:  # noqa: BLE001 - forwarded per request
+                for request in requests:
+                    request.fail(exc)
+                continue
+            # Durability point: the batch's learning hits the fsynced
+            # journal BEFORE any response is released, so an answer a
+            # client has seen implies learning that survives kill -9.
+            if self._store is not None and delta:
+                self._store.record(delta)
+                self._store.maybe_compact(index)
+            offset = 0
+            for request in requests:
+                request.succeed(results[offset:offset + len(request.queries)])
+                offset += len(request.queries)
+            with self._lock:
+                self.batches += 1
+                self.queries += len(queries)
+
+
+class QueryServer:
+    """Threaded socket front-end around one resident engine.
+
+    Listens on TCP (``host``/``port``; port ``0`` picks a free one — read
+    :attr:`address` after :meth:`start`) or a unix domain socket
+    (``unix_path``, which wins when both are given).  One daemon thread
+    accepts connections; each connection gets a handler thread that
+    speaks the framed-JSON protocol and forwards query ops to the shared
+    :class:`_Batcher`.
+
+    Use as a context manager, or pair :meth:`start` with :meth:`stop`.
+    ``stop()`` (also reachable via the ``shutdown`` op) closes the
+    listener, fails pending requests, closes live connections, and — when
+    the server owns a durable store — compacts the journal into a final
+    snapshot so the next boot starts with an empty journal.
+    """
+
+    def __init__(
+        self,
+        engine: ReverseKRanksEngine,
+        config: Optional[ServeConfig] = None,
+        store: Optional[DurableIndexStore] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+    ) -> None:
+        self._engine = engine
+        self._config = config or ServeConfig()
+        self._store = store
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self._batcher = _Batcher(engine, self._config, store)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: Dict[int, socket.socket] = {}
+        self._conn_lock = threading.Lock()
+        self._conn_ids = iter(range(1, 1 << 62))
+        self._stopped = threading.Event()
+        self._done = threading.Event()
+        self._stop_lock = threading.Lock()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (TCP) — valid after :meth:`start`."""
+        if self._listener is None:
+            raise ServeError("server is not started")
+        if self._unix_path is not None:
+            raise ServeError("server is bound to a unix socket, not TCP")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def engine(self) -> ReverseKRanksEngine:
+        return self._engine
+
+    @property
+    def batcher(self) -> _Batcher:
+        """The batcher (tests pause/resume it for deterministic flushes)."""
+        return self._batcher
+
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryServer":
+        if self._started:
+            raise ServeError("server already started")
+        self._started = True
+        if self._unix_path is not None:
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                os.unlink(self._unix_path)
+            except FileNotFoundError:
+                pass
+            listener.bind(self._unix_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+        listener.listen(128)
+        # Poll with a short timeout instead of blocking forever: closing
+        # a listener does not reliably wake a thread parked in accept()
+        # (notably on Linux), so stop() would otherwise hang on join.
+        listener.settimeout(0.1)
+        self._listener = listener
+        self._batcher.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block the calling thread until a :meth:`stop` has completed."""
+        self._done.wait()
+
+    def stop(self) -> None:
+        """Graceful shutdown; idempotent (late callers wait for the first)."""
+        with self._stop_lock:
+            if self._stopped.is_set():
+                already_stopping = True
+            else:
+                self._stopped.set()
+                already_stopping = False
+        if already_stopping:
+            self._done.wait()
+            return
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join()
+        self._batcher.stop()
+        with self._conn_lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._unix_path is not None:
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        # Fold the journal into a parting snapshot: a clean shutdown
+        # leaves an empty journal, so the next boot replays nothing.
+        if self._store is not None and self._engine.index is not None:
+            self._store.compact(self._engine.index)
+            self._store.close()
+        self._engine.close_pool()
+        self._done.set()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by stop()
+            conn.settimeout(None)
+            conn_id = next(self._conn_ids)
+            with self._conn_lock:
+                if self._stopped.is_set():
+                    conn.close()
+                    return
+                self._connections[conn_id] = conn
+            threading.Thread(
+                target=self._handle_connection,
+                args=(conn_id, conn),
+                name=f"repro-serve-conn-{conn_id}",
+                daemon=True,
+            ).start()
+
+    def _handle_connection(self, conn_id: int, conn: socket.socket) -> None:
+        try:
+            while not self._stopped.is_set():
+                try:
+                    message = recv_message(conn)
+                except ProtocolError as exc:
+                    self._send_safe(conn, {"ok": False, "error": str(exc)})
+                    return
+                except OSError:
+                    return
+                if message is None:
+                    return  # client closed cleanly
+                try:
+                    response, stop_after = self._dispatch(message)
+                except BaseException as exc:  # noqa: BLE001 - reply, keep serving
+                    response, stop_after = (
+                        {"ok": False, "error": f"{type(exc).__name__}: {exc}"},
+                        False,
+                    )
+                if not self._send_safe(conn, response):
+                    return
+                if stop_after:
+                    # Shutdown must come from outside the handler thread:
+                    # stop() joins every connection, including this one.
+                    threading.Thread(
+                        target=self.stop, name="repro-serve-stop", daemon=True
+                    ).start()
+                    return
+        finally:
+            with self._conn_lock:
+                self._connections.pop(conn_id, None)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _send_safe(self, conn: socket.socket, message: dict) -> bool:
+        try:
+            send_message(conn, message)
+            return True
+        except (OSError, ProtocolError):
+            return False
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, message: dict) -> Tuple[dict, bool]:
+        """Handle one request; returns ``(response, stop_after_send)``."""
+        op = message.get("op")
+        if op == "query":
+            return self._op_query(message), False
+        if op == "ping":
+            return {"ok": True, "pong": True}, False
+        if op == "info":
+            return self._op_info(), False
+        if op == "stats":
+            return self._op_stats(), False
+        if op == "shutdown":
+            return {"ok": True, "stopping": True}, True
+        return {"ok": False, "error": f"unknown op {op!r}"}, False
+
+    def _op_query(self, message: dict) -> dict:
+        config = self._config
+        queries = message.get("queries")
+        if queries is None and "query" in message:
+            queries = [message["query"]]
+        if not isinstance(queries, list) or not queries:
+            return {
+                "ok": False,
+                "error": "query op needs a non-empty 'queries' list "
+                "(or a single 'query')",
+            }
+        k = message.get("k", config.default_k)
+        algorithm = message.get("algorithm", config.default_algorithm)
+        # Admission-time validation: a bad node / k / algorithm fails THIS
+        # request, before it can poison a coalesced batch.
+        try:
+            kind = self._engine.validate_batch(queries, k, algorithm)
+        except (ReproError, ValueError, TypeError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        request = _PendingRequest(list(queries), k, kind)
+        if not self._batcher.submit(request):
+            return {
+                "ok": False,
+                "overloaded": True,
+                "error": (
+                    f"admission queue full "
+                    f"(max_pending={config.max_pending} queries); retry"
+                ),
+            }
+        request.done.wait()
+        if request.error is not None:
+            exc = request.error
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        return {
+            "ok": True,
+            "results": [
+                [[node, rank] for node, rank in result.as_pairs()]
+                for result in request.results
+            ],
+        }
+
+    def _op_info(self) -> dict:
+        graph = self._engine.graph
+        index = self._engine.index
+        config = self._config
+        info = {
+            "ok": True,
+            "pid": os.getpid(),
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "bichromatic": self._engine.is_bichromatic,
+            "max_batch": config.max_batch,
+            "max_wait_ms": config.max_wait_ms,
+            "max_pending": config.max_pending,
+            "workers": config.workers,
+            "default_k": config.default_k,
+            "default_algorithm": config.default_algorithm,
+            "has_index": index is not None,
+            "durable": self._store is not None,
+        }
+        if index is not None:
+            info["index_capacity"] = index.capacity
+            info["index_num_hubs"] = len(index.hubs)
+        return info
+
+    def _op_stats(self) -> dict:
+        batcher = self._batcher
+        index = self._engine.index
+        stats = {
+            "ok": True,
+            "batches": batcher.batches,
+            "queries": batcher.queries,
+            "requests": batcher.requests,
+            "overloads": batcher.overloads,
+        }
+        if index is not None:
+            stats["index_known_ranks"] = index.num_known_ranks
+            stats["index_revision"] = index.revision
+        if self._store is not None:
+            stats["journal_seq"] = self._store.last_seq
+            stats["journal_records"] = self._store.journal.num_records
+            stats["journal_bytes"] = self._store.journal.size_bytes
+            stats["compactions"] = self._store.compactions
+        return stats

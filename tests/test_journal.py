@@ -1,0 +1,328 @@
+"""The durable learned-state layer: DeltaJournal + DurableIndexStore.
+
+The contract under test is the serve tentpole's: learning journalled at
+batch boundaries survives any crash — kill -9 mid-append leaves a torn
+tail the next open heals; a crash *between* the two compaction steps
+(snapshot written, journal not yet reset) must not double-apply the
+additive exploration counters; and a replayed index is bit-identical
+(pickled ``export_state``) to one that never restarted.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+
+import pytest
+
+from repro.core import ReverseKRanksEngine
+from repro.core.hub_index import HubIndex, HubIndexDelta
+from repro.errors import JournalCorruptionError
+from repro.serve.journal import (
+    JOURNAL_MAGIC,
+    DeltaJournal,
+    DurableIndexStore,
+)
+
+from conftest import sample_queries
+
+
+def make_delta(seed: int = 0) -> HubIndexDelta:
+    """A small distinctive delta (ranks + additive explorations)."""
+    return HubIndexDelta(
+        ranks={(seed, seed + 1): seed + 3, (seed + 1, seed + 2): 1},
+        explorations={seed: 2, seed + 5: 1},
+    )
+
+
+def deltas_equal(a: HubIndexDelta, b: HubIndexDelta) -> bool:
+    return a.ranks == b.ranks and a.explorations == b.explorations
+
+
+def learned_engine(graph, batches=3):
+    """An engine whose index has learned through a few indexed batches."""
+    engine = ReverseKRanksEngine(graph)
+    engine.build_index(num_hubs=3, capacity=16)
+    for start in range(batches):
+        queries = sample_queries(graph, 4)
+        engine.query_many(queries, 3 + start, algorithm="indexed")
+    return engine
+
+
+# ----------------------------------------------------------------------
+# DeltaJournal basics
+# ----------------------------------------------------------------------
+class TestDeltaJournal:
+    def test_append_reopen_round_trip(self, tmp_path):
+        path = tmp_path / "journal.bin"
+        with DeltaJournal(path) as journal:
+            journal.append(1, make_delta(0))
+            journal.append(2, make_delta(1))
+            assert journal.last_seq == 2
+            assert journal.num_records == 2
+        with DeltaJournal(path) as journal:
+            entries = journal.entries()
+            assert [seq for seq, _ in entries] == [1, 2]
+            assert deltas_equal(entries[0][1], make_delta(0))
+            assert deltas_equal(entries[1][1], make_delta(1))
+
+    def test_sequences_must_increase(self, tmp_path):
+        with DeltaJournal(tmp_path / "j.bin") as journal:
+            journal.append(5, make_delta())
+            with pytest.raises(ValueError, match="must increase"):
+                journal.append(5, make_delta())
+            with pytest.raises(ValueError, match="must increase"):
+                journal.append(4, make_delta())
+
+    def test_empty_journal_has_magic_only(self, tmp_path):
+        path = tmp_path / "j.bin"
+        with DeltaJournal(path):
+            pass
+        assert path.read_bytes() == JOURNAL_MAGIC
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "j.bin"
+        path.write_bytes(b"NOT-A-JOURNAL-AT-ALL" * 3)
+        with pytest.raises(JournalCorruptionError, match="bad magic"):
+            DeltaJournal(path)
+
+    # -- torn tails (the kill -9 cases) --------------------------------
+    @pytest.mark.parametrize("cut", ["header", "payload"])
+    def test_torn_tail_is_healed(self, tmp_path, cut):
+        path = tmp_path / "j.bin"
+        with DeltaJournal(path) as journal:
+            journal.append(1, make_delta(0))
+            journal.append(2, make_delta(1))
+        data = path.read_bytes()
+        # Re-measure record 2's frame to cut inside it.
+        with DeltaJournal(path) as journal:
+            pass
+        frame = struct.Struct("<II")
+        offset = len(JOURNAL_MAGIC)
+        length, _ = frame.unpack_from(data, offset)
+        second_start = offset + frame.size + length
+        cut_at = second_start + (2 if cut == "header" else frame.size + 3)
+        path.write_bytes(data[:cut_at])
+
+        with DeltaJournal(path) as journal:
+            assert journal.num_records == 1
+            assert journal.last_seq == 1
+            # The torn bytes are physically gone and appends continue.
+            journal.append(2, make_delta(7))
+        with DeltaJournal(path) as journal:
+            assert [seq for seq, _ in journal.entries()] == [1, 2]
+            assert deltas_equal(journal.entries()[1][1], make_delta(7))
+
+    def test_corrupt_final_record_is_dropped(self, tmp_path):
+        path = tmp_path / "j.bin"
+        with DeltaJournal(path) as journal:
+            journal.append(1, make_delta(0))
+            journal.append(2, make_delta(1))
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(data))
+        with DeltaJournal(path) as journal:
+            assert [seq for seq, _ in journal.entries()] == [1]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.bin"
+        with DeltaJournal(path) as journal:
+            journal.append(1, make_delta(0))
+            journal.append(2, make_delta(1))
+        data = bytearray(path.read_bytes())
+        # Flip a byte inside record 1's payload: its CRC fails with
+        # record 2 still following — not a torn tail, not skippable.
+        data[len(JOURNAL_MAGIC) + struct.calcsize("<II") + 4] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(JournalCorruptionError, match="mid-file"):
+            DeltaJournal(path)
+
+    def test_absurd_length_field_raises(self, tmp_path):
+        path = tmp_path / "j.bin"
+        with DeltaJournal(path) as journal:
+            journal.append(1, make_delta(0))
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", 1 << 31, 0))
+            handle.write(b"x" * 64)
+        with pytest.raises(JournalCorruptionError, match="claims"):
+            DeltaJournal(path)
+
+    # -- reset ---------------------------------------------------------
+    def test_reset_preserves_sequence_and_leaves_no_residue(self, tmp_path):
+        path = tmp_path / "j.bin"
+        with DeltaJournal(path) as journal:
+            journal.append(1, make_delta(0))
+            journal.append(2, make_delta(1))
+            journal.reset()
+            assert journal.num_records == 0
+            assert journal.last_seq == 2  # sequence survives the reset
+            with pytest.raises(ValueError):
+                journal.append(2, make_delta())
+            journal.append(3, make_delta(2))
+        leftovers = [
+            name for name in os.listdir(tmp_path) if name != "j.bin"
+        ]
+        assert leftovers == []
+        with DeltaJournal(path) as journal:
+            assert [seq for seq, _ in journal.entries()] == [3]
+
+
+# ----------------------------------------------------------------------
+# DurableIndexStore
+# ----------------------------------------------------------------------
+class TestDurableIndexStore:
+    def test_first_boot_returns_none(self, tmp_path, random_gnp):
+        store = DurableIndexStore(tmp_path / "state")
+        assert store.load(random_gnp) is None
+        store.close()
+
+    def test_install_then_load_round_trips(self, tmp_path, random_gnp):
+        engine = learned_engine(random_gnp)
+        with DurableIndexStore(tmp_path / "state") as store:
+            store.install(engine.index)
+            assert store.compactions == 0
+        with DurableIndexStore(tmp_path / "state") as store:
+            loaded = store.load(random_gnp)
+        assert pickle.dumps(loaded.export_state()) == pickle.dumps(
+            engine.index.export_state()
+        )
+
+    def test_replay_equals_never_restarted_engine(self, tmp_path, random_gnp):
+        """The headline durability property, crash-simulated.
+
+        The reference engine serves batches without interruption.  The
+        durable one installs a base snapshot, journals every batch's
+        delta, and is then abandoned mid-life (no close, no final
+        compaction — exactly what kill -9 leaves).  A fresh store over
+        the same directory must rebuild the identical index.
+        """
+        reference = ReverseKRanksEngine(random_gnp)
+        reference.build_index(num_hubs=3, capacity=16)
+
+        durable = ReverseKRanksEngine(random_gnp)
+        durable.build_index(num_hubs=3, capacity=16)
+        store = DurableIndexStore(tmp_path / "state")
+        store.install(durable.index)
+
+        for start in range(3):
+            queries = sample_queries(random_gnp, 4)
+            reference.query_many(queries, 3 + start, algorithm="indexed")
+            durable.index.start_learning_log()
+            durable.query_many(queries, 3 + start, algorithm="indexed")
+            delta = durable.index.pop_learning_log()
+            store.record(delta)
+        # Crash: the store object is dropped without close/compact.
+        del store
+
+        replayed = DurableIndexStore(tmp_path / "state").load(random_gnp)
+        assert pickle.dumps(replayed.export_state()) == pickle.dumps(
+            reference.index.export_state()
+        )
+
+    def test_compaction_folds_and_resets(self, tmp_path, random_gnp):
+        engine = learned_engine(random_gnp)
+        with DurableIndexStore(tmp_path / "state", compact_bytes=1) as store:
+            store.install(engine.index)
+            store.record(make_delta(30))
+            engine.index.merge_delta(make_delta(30))
+            # compact_bytes=1: any journal content triggers compaction.
+            assert store.maybe_compact(engine.index)
+            assert store.compactions == 1
+            assert store.journal.num_records == 0
+            assert store.last_seq == 1
+        # No temp residue from the snapshot or journal swaps.
+        leftovers = [
+            name
+            for name in os.listdir(tmp_path / "state")
+            if name not in ("index.snapshot", "journal.bin")
+        ]
+        assert leftovers == []
+        with DurableIndexStore(tmp_path / "state") as store:
+            loaded = store.load(random_gnp)
+        assert pickle.dumps(loaded.export_state()) == pickle.dumps(
+            engine.index.export_state()
+        )
+
+    def test_crash_between_compaction_steps_is_idempotent(
+        self, tmp_path, random_gnp
+    ):
+        """Snapshot written, journal NOT reset — replay must skip folds.
+
+        Explorations are additive (``+=``), so this is the scenario that
+        would silently double-count without the sequence fence stored
+        inside the snapshot.
+        """
+        engine = learned_engine(random_gnp)
+        store = DurableIndexStore(tmp_path / "state")
+        store.install(engine.index)
+        delta = make_delta(40)
+        engine.index.merge_delta(delta)
+        store.record(delta)
+        # First compaction half: the snapshot now folds seq 1 in...
+        engine.index.save(
+            store.snapshot_path, meta={DurableIndexStore.META_SEQ: 1}
+        )
+        # ...and the crash happens before journal.reset(): seq 1 is still
+        # sitting in the journal on disk.
+        del store
+
+        replayed = DurableIndexStore(tmp_path / "state").load(random_gnp)
+        assert pickle.dumps(replayed.export_state()) == pickle.dumps(
+            engine.index.export_state()
+        )
+
+    def test_sequence_continues_after_replay(self, tmp_path, random_gnp):
+        engine = learned_engine(random_gnp)
+        store = DurableIndexStore(tmp_path / "state")
+        store.install(engine.index)
+        assert store.record(make_delta(1)) == 1
+        assert store.record(make_delta(2)) == 2
+        del store
+        store = DurableIndexStore(tmp_path / "state")
+        store.load(random_gnp)
+        assert store.record(make_delta(3)) == 3
+
+    def test_journal_without_snapshot_is_an_error(self, tmp_path, random_gnp):
+        state = tmp_path / "state"
+        store = DurableIndexStore(state)
+        engine = learned_engine(random_gnp)
+        store.install(engine.index)
+        store.record(make_delta(9))
+        del store
+        os.unlink(state / "index.snapshot")
+        with pytest.raises(JournalCorruptionError, match="no base snapshot"):
+            DurableIndexStore(state).load(random_gnp)
+
+    def test_empty_deltas_replay_fine(self, tmp_path, random_gnp):
+        engine = learned_engine(random_gnp)
+        with DurableIndexStore(tmp_path / "state") as store:
+            store.install(engine.index)
+            store.record(HubIndexDelta())
+        replayed = DurableIndexStore(tmp_path / "state").load(random_gnp)
+        assert pickle.dumps(replayed.export_state()) == pickle.dumps(
+            engine.index.export_state()
+        )
+
+    def test_snapshot_meta_round_trips_through_save(
+        self, tmp_path, random_gnp
+    ):
+        engine = learned_engine(random_gnp)
+        path = tmp_path / "snap.bin"
+        engine.index.save(path, meta={"journal_seq": 42, "note": "hello"})
+        index, meta = HubIndex.load_with_meta(path, random_gnp)
+        assert meta == {"journal_seq": 42, "note": "hello"}
+        # Plain load still works and ignores the meta.
+        again = HubIndex.load(path, random_gnp)
+        assert pickle.dumps(again.export_state()) == pickle.dumps(
+            index.export_state()
+        )
+
+    def test_legacy_snapshot_without_meta_loads(self, tmp_path, random_gnp):
+        """A pre-meta snapshot (no ``meta`` key) must still load."""
+        engine = learned_engine(random_gnp)
+        path = tmp_path / "snap.bin"
+        engine.index.save(path)
+        index, meta = HubIndex.load_with_meta(path, random_gnp)
+        assert meta == {}
+        assert index.num_known_ranks == engine.index.num_known_ranks

@@ -1,0 +1,178 @@
+"""Worker hub-index staleness: learned deltas must reach the pool.
+
+The regression under test: ``_ensure_pool`` used to key the workers'
+index snapshot on the index *object's identity*, so everything the
+master index learned between parallel batches — sequential queries,
+merged-back deltas, journal replay — never reached the workers; they
+kept answering on their construction-time snapshot forever.  The fix
+stamps every ``record_*`` call into ``HubIndex.revision`` and re-ships
+an ``export_state`` snapshot (over the pool's new ``"index"`` broadcast,
+keeping worker processes alive) whenever the master has drifted at least
+``engine.index_sync_threshold`` revisions past the workers' snapshot —
+or when the index object was swapped outright.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.core import ReverseKRanksEngine
+from repro.core.hub_index import HubIndex, HubIndexDelta
+from repro.core.validation import results_equivalent
+
+from conftest import sample_queries
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(
+    not HAVE_FORK, reason="fork start method unavailable"
+)
+
+#: Start method for the process tests (fast to start on CI's Linux).
+FAST_CONTEXT = "fork" if HAVE_FORK else None
+
+
+class TestRevisionCounter:
+    def test_revision_counts_every_learning_call(self, random_gnp):
+        index = HubIndex(random_gnp, capacity=8, hubs=[0])
+        base = index.revision
+        index.record_rank(1, 2, 3)
+        assert index.revision == base + 1
+        index.record_exploration(1, 10)
+        assert index.revision == base + 2
+
+    def test_merge_delta_advances_revision(self, random_gnp):
+        index = HubIndex(random_gnp, capacity=8, hubs=[0])
+        base = index.revision
+        index.merge_delta(
+            HubIndexDelta(ranks={(1, 2): 3, (2, 3): 4}, explorations={1: 5})
+        )
+        assert index.revision == base + 3
+
+    def test_revision_not_serialised(self, random_gnp):
+        index = HubIndex(random_gnp, capacity=8, hubs=[0])
+        index.record_rank(1, 2, 3)
+        clone = HubIndex.from_state(random_gnp, index.export_state())
+        # The clone's counter starts from its own rebuild, not the
+        # donor's live value — revisions are object-local.
+        assert clone.num_known_ranks == index.num_known_ranks
+
+
+@needs_fork
+class TestPoolIndexSync:
+    def build_engine(self, graph):
+        engine = ReverseKRanksEngine(graph)
+        engine.build_index(num_hubs=3, capacity=16)
+        return engine
+
+    def test_sequential_learning_reaches_workers(self, random_gnp):
+        """Master-side learning between parallel batches is re-shipped."""
+        queries = sample_queries(random_gnp, 6)
+        engine = self.build_engine(random_gnp)
+        engine.index_sync_threshold = 1  # ship on any drift
+        with engine:
+            engine.prepare_parallel(2, FAST_CONTEXT)
+            pids_before = engine._pool.worker_pids
+            # Learn on the master only: a sequential indexed batch.
+            engine.query_many(queries, 4, algorithm="indexed")
+            drifted_to = engine.index.revision
+            assert drifted_to > engine._pool_index_revision
+            # The next parallel batch must first sync the workers (the
+            # merge-back of that batch's own learning then advances the
+            # master past the shipped snapshot again)...
+            engine.query_many(
+                queries, 5, algorithm="indexed", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            assert engine._pool_index_revision >= drifted_to
+            # ...without restarting any worker process.
+            assert engine._pool.worker_pids == pids_before
+
+    def test_below_threshold_drift_is_not_shipped(self, random_gnp):
+        queries = sample_queries(random_gnp, 6)
+        engine = self.build_engine(random_gnp)
+        engine.index_sync_threshold = 10_000_000
+        with engine:
+            engine.prepare_parallel(2, FAST_CONTEXT)
+            shipped = engine._pool_index_revision
+            engine.query_many(queries, 4, algorithm="indexed")
+            engine.query_many(
+                queries, 5, algorithm="indexed", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            # Drift stayed under the (huge) threshold: no re-ship — the
+            # snapshot revision the workers hold is unchanged.
+            assert engine._pool_index_revision == shipped
+
+    def test_swapped_index_object_is_always_shipped(self, random_gnp):
+        """adopt_index swaps identity: must re-ship regardless of drift.
+
+        The swapped-in index may have a different capacity, and the
+        worker-side k validation runs against *its* snapshot — serving
+        from the old one would wrongly reject (or mis-bound) queries.
+        """
+        queries = sample_queries(random_gnp, 6)
+        engine = self.build_engine(random_gnp)
+        engine.index_sync_threshold = 10_000_000
+        with engine:
+            engine.prepare_parallel(2, FAST_CONTEXT)
+            replacement = HubIndex.build(
+                random_gnp, num_hubs=4, capacity=32
+            )
+            engine.adopt_index(replacement)
+            adopted_at = replacement.revision
+            engine.query_many(
+                queries, 5, algorithm="indexed", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            assert engine._pool_index is replacement
+            assert engine._pool_index_revision >= adopted_at
+
+    def test_synced_parallel_matches_sequential_reference(self, random_gnp):
+        """End to end: answers after a sync match a sequential engine's.
+
+        Both engines learn through the same batch sequence; the parallel
+        one interleaves master-only learning with worker batches under a
+        ship-always threshold.  Indexed parallel answers are rank-value
+        equivalent to sequential ones (boundary ties may order
+        differently — the documented contract).
+        """
+        queries = sample_queries(random_gnp, 6)
+        reference = self.build_engine(random_gnp)
+        engine = self.build_engine(random_gnp)
+        engine.index_sync_threshold = 1
+        with engine:
+            for k, parallel in ((4, False), (5, True), (6, True)):
+                expected = reference.query_many(
+                    queries, k, algorithm="indexed"
+                )
+                got = engine.query_many(
+                    queries,
+                    k,
+                    algorithm="indexed",
+                    workers=2 if parallel else 1,
+                    worker_context=FAST_CONTEXT,
+                )
+                for want, have in zip(expected, got):
+                    assert results_equivalent(want, have)
+                    assert want.rank_values() == have.rank_values()
+            # The synced engine's master index knows at least every rank
+            # an answer depends on; spot-check agreement on shared keys
+            # (recorded ranks are exact, so overlap must agree).
+            ref_known = reference.export_state()["known"]
+            eng_known = engine.export_state()["known"]
+            for source, targets in eng_known.items():
+                for target, rank in targets.items():
+                    if source in ref_known and target in ref_known[source]:
+                        assert ref_known[source][target] == rank
+
+    def test_update_index_rejected_on_closed_pool(self, random_gnp):
+        from repro.errors import ParallelExecutionError
+
+        engine = self.build_engine(random_gnp)
+        pool = engine.prepare_parallel(2, FAST_CONTEXT)
+        engine.close_pool()
+        with pytest.raises(ParallelExecutionError, match="closed"):
+            pool.update_index(engine.index.export_state())

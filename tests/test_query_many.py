@@ -205,3 +205,95 @@ def test_engine_rejects_stale_index_at_construction():
     graph.add_edge(0, 8, 0.25)
     with pytest.raises(IndexParameterError, match="stale"):
         ReverseKRanksEngine(graph, index=index)
+
+
+# ----------------------------------------------------------------------
+# The parallel branch must honour cache_size (regression)
+# ----------------------------------------------------------------------
+# query_many(workers=N, cache_size=M) used to return from the parallel
+# branch before the cache machinery existed, silently dispatching every
+# duplicate query to the workers.  The fix deduplicates parent-side
+# before shard planning and fans the unique results back out, so
+# duplicate positions share one QueryResult object exactly like a
+# sequential cache hit.
+
+_HAVE_FORK = "fork" in __import__("multiprocessing").get_all_start_methods()
+_needs_fork = pytest.mark.skipif(
+    not _HAVE_FORK, reason="fork start method unavailable"
+)
+
+
+@_needs_fork
+def test_parallel_batch_honours_cache(random_gnp):
+    queries = sample_queries(random_gnp, 3)
+    pattern = [
+        queries[0], queries[1], queries[0], queries[2],
+        queries[1], queries[0],
+    ]
+    engine = ReverseKRanksEngine(random_gnp)
+    engine.build_index(num_hubs=3, capacity=16)
+    with engine:
+        batch = engine.query_many(
+            pattern, 3, algorithm="dynamic", workers=2,
+            worker_context="fork", cache_size=4,
+        )
+        # Duplicate positions share one object (the cache contract)...
+        assert batch[0] is batch[2] is batch[5]
+        assert batch[1] is batch[4]
+        assert batch[3] is not batch[0]
+        # ...and every position answers its own query, in input order.
+        reference = ReverseKRanksEngine(random_gnp)
+        for query, result in zip(pattern, batch):
+            assert result.as_pairs() == reference.query(
+                query, 3, "dynamic"
+            ).as_pairs()
+
+
+@_needs_fork
+def test_parallel_cache_single_unique_query_runs_sequentially(random_gnp):
+    """All-duplicates batches collapse to one query: nothing to shard."""
+    query = sample_queries(random_gnp, 1)[0]
+    engine = ReverseKRanksEngine(random_gnp)
+    with engine:
+        batch = engine.query_many(
+            [query] * 5, 3, algorithm="dynamic", workers=2,
+            worker_context="fork", cache_size=4,
+        )
+        assert all(result is batch[0] for result in batch)
+        # The degenerate batch never started the pool.
+        assert engine._pool is None
+
+
+@_needs_fork
+def test_parallel_without_cache_still_dispatches_duplicates(random_gnp):
+    query = sample_queries(random_gnp, 2)
+    pattern = [query[0], query[1], query[0]]
+    engine = ReverseKRanksEngine(random_gnp)
+    with engine:
+        batch = engine.query_many(
+            pattern, 3, algorithm="dynamic", workers=2, worker_context="fork",
+        )
+        assert batch[0] is not batch[2]
+        assert batch[0].as_pairs() == batch[2].as_pairs()
+
+@_needs_fork
+def test_parallel_min_batch_one_dispatches_singles(random_gnp):
+    """parallel_min_batch=1 sends even a lone query through the pool.
+
+    The serving benchmark's one-query-per-request baseline depends on
+    this: without the knob the single-query fallback would quietly
+    measure the sequential path instead of per-request dispatch cost.
+    """
+    query = sample_queries(random_gnp, 1)[0]
+    engine = ReverseKRanksEngine(random_gnp)
+    engine.parallel_min_batch = 1
+    with engine:
+        batch = engine.query_many(
+            [query], 3, algorithm="dynamic", workers=2,
+            worker_context="fork",
+        )
+        assert engine._pool is not None
+        reference = ReverseKRanksEngine(random_gnp)
+        assert batch[0].as_pairs() == reference.query(
+            query, 3, "dynamic"
+        ).as_pairs()

@@ -1,0 +1,406 @@
+"""The query service: framing, batching, admission, durability, CLI plumbing.
+
+Server tests run a real :class:`QueryServer` on a loopback TCP port (or a
+unix socket) inside the test process — the engine, batcher and handler
+threads are all genuine; only process isolation is skipped (the
+subprocess restart path is covered by ``scripts/serve_smoke.py`` in CI).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core import ReverseKRanksEngine
+from repro.errors import (
+    ProtocolError,
+    ServeError,
+    ServerOverloadedError,
+)
+from repro.serve import (
+    DurableIndexStore,
+    QueryServer,
+    ServeClient,
+    ServeConfig,
+    recv_message,
+    send_message,
+)
+from repro.serve.bootstrap import parse_fixture, prepare_engine
+
+from conftest import sample_queries
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def pair(self):
+        return socket.socketpair()
+
+    def test_round_trip(self):
+        left, right = self.pair()
+        with left, right:
+            message = {"op": "query", "queries": [1, 2], "k": 3, "x": "é"}
+            send_message(left, message)
+            assert recv_message(right) == message
+
+    def test_clean_eof_returns_none(self):
+        left, right = self.pair()
+        with right:
+            left.close()
+            assert recv_message(right) is None
+
+    def test_eof_mid_frame_raises(self):
+        left, right = self.pair()
+        with right:
+            left.sendall(struct.pack("<I", 100) + b"{\"a\"")
+            left.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_message(right)
+
+    def test_oversized_frame_rejected_without_allocation(self):
+        left, right = self.pair()
+        with left, right:
+            left.sendall(struct.pack("<I", (1 << 31) + 17))
+            with pytest.raises(ProtocolError, match="limit"):
+                recv_message(right)
+
+    def test_non_json_payload_raises(self):
+        left, right = self.pair()
+        with left, right:
+            left.sendall(struct.pack("<I", 4) + b"\xff\xfe\x00\x01")
+            with pytest.raises(ProtocolError, match="not valid JSON"):
+                recv_message(right)
+
+    def test_non_object_payload_raises(self):
+        left, right = self.pair()
+        with left, right:
+            left.sendall(struct.pack("<I", 7) + b"[1,2,3]")
+            with pytest.raises(ProtocolError, match="JSON object"):
+                recv_message(right)
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+def make_server(graph, store=None, **config_kwargs):
+    engine = ReverseKRanksEngine(graph)
+    engine.build_index(num_hubs=3, capacity=16)
+    config_kwargs.setdefault("max_wait_ms", 2.0)
+    server = QueryServer(
+        engine, config=ServeConfig(**config_kwargs), store=store
+    )
+    return server
+
+
+class TestQueryServer:
+    def test_answers_match_direct_engine(self, random_gnp):
+        reference = ReverseKRanksEngine(random_gnp)
+        reference.build_index(num_hubs=3, capacity=16)
+        queries = sample_queries(random_gnp, 4)
+        with make_server(random_gnp) as server:
+            host, port = server.address
+            with ServeClient(host=host, port=port) as client:
+                for algorithm in ("dynamic", "indexed"):
+                    served = client.query_many(
+                        queries, k=4, algorithm=algorithm
+                    )
+                    direct = reference.query_many(
+                        queries, 4, algorithm=algorithm
+                    )
+                    assert served == [
+                        result.as_pairs() for result in direct
+                    ]
+
+    def test_single_query_form(self, random_gnp):
+        query = sample_queries(random_gnp, 1)[0]
+        with make_server(random_gnp) as server:
+            host, port = server.address
+            with ServeClient(host=host, port=port) as client:
+                pairs = client.query(query, k=3, algorithm="dynamic")
+        assert len(pairs) == 3
+
+    def test_defaults_applied(self, random_gnp):
+        query = sample_queries(random_gnp, 1)[0]
+        with make_server(random_gnp, default_k=5) as server:
+            host, port = server.address
+            with ServeClient(host=host, port=port) as client:
+                assert len(client.query(query)) == 5
+
+    def test_concurrent_clients_coalesce_into_batches(self, random_gnp):
+        nodes = sorted(random_gnp.nodes())
+        with make_server(random_gnp, max_batch=64) as server:
+            host, port = server.address
+            server.batcher.pause()
+            outputs = [None] * 12
+            threads = []
+
+            def issue(i):
+                with ServeClient(host=host, port=port) as client:
+                    outputs[i] = client.query(
+                        nodes[i % len(nodes)], k=3, algorithm="indexed"
+                    )
+
+            for i in range(12):
+                thread = threading.Thread(target=issue, args=(i,))
+                thread.start()
+                threads.append(thread)
+            # Wait until every request is parked in the batcher, then
+            # release them as ONE coalesced batch.
+            deadline = threading.Event()
+            for _ in range(500):
+                if server.batcher.requests >= 12:
+                    break
+                deadline.wait(0.01)
+            assert server.batcher.requests == 12
+            server.batcher.resume()
+            for thread in threads:
+                thread.join()
+            assert all(out is not None for out in outputs)
+            assert server.batcher.batches == 1
+            assert server.batcher.queries == 12
+
+    def test_max_batch_caps_each_engine_call(self, random_gnp):
+        """A parked backlog drains in max_batch-sized chunks.
+
+        The cap bounds the engine call itself, not just the flush
+        trigger — otherwise the one-query-per-request baseline server
+        (``max_batch=1``) would quietly coalesce its backlog and the
+        batching benchmark would compare a server against itself.
+        """
+        nodes = sorted(random_gnp.nodes())
+        with make_server(random_gnp, max_batch=4) as server:
+            host, port = server.address
+            server.batcher.pause()
+            outputs = [None] * 12
+            threads = []
+
+            def issue(i):
+                with ServeClient(host=host, port=port) as client:
+                    outputs[i] = client.query(
+                        nodes[i % len(nodes)], k=3, algorithm="indexed"
+                    )
+
+            for i in range(12):
+                thread = threading.Thread(target=issue, args=(i,))
+                thread.start()
+                threads.append(thread)
+            for _ in range(500):
+                if server.batcher.requests >= 12:
+                    break
+                time.sleep(0.01)
+            assert server.batcher.requests == 12
+            server.batcher.resume()
+            for thread in threads:
+                thread.join()
+            assert all(out is not None for out in outputs)
+            assert server.batcher.queries == 12
+            assert server.batcher.batches == 3
+
+    def test_overload_is_explicit_and_retryable(self, random_gnp):
+        nodes = sorted(random_gnp.nodes())
+        with make_server(random_gnp, max_pending=2) as server:
+            host, port = server.address
+            server.batcher.pause()
+            try:
+                with ServeClient(host=host, port=port) as blocker:
+                    # Park 2 queries (fills max_pending) without waiting
+                    # for the reply frame.
+                    send_message(
+                        blocker._sock,
+                        {
+                            "op": "query",
+                            "queries": nodes[:2],
+                            "k": 3,
+                            "algorithm": "dynamic",
+                        },
+                    )
+                    for _ in range(500):
+                        if server.batcher.requests >= 1:
+                            break
+                        threading.Event().wait(0.01)
+                    with ServeClient(host=host, port=port) as client:
+                        with pytest.raises(ServerOverloadedError):
+                            client.query(nodes[0], k=3, algorithm="dynamic")
+                    assert server.batcher.overloads == 1
+                    server.batcher.resume()
+                    # The parked request still completes...
+                    reply = recv_message(blocker._sock)
+                    assert reply["ok"] is True
+                # ...and the shed one succeeds on retry.
+                with ServeClient(host=host, port=port) as client:
+                    assert client.query(nodes[0], k=3, algorithm="dynamic")
+            finally:
+                server.batcher.resume()
+
+    def test_bad_request_fails_alone(self, random_gnp):
+        nodes = sorted(random_gnp.nodes())
+        with make_server(random_gnp) as server:
+            host, port = server.address
+            with ServeClient(host=host, port=port) as client:
+                with pytest.raises(ServeError, match="InvalidQueryNodeError"):
+                    client.query(10_000, k=3)
+                with pytest.raises(ServeError, match="k"):
+                    client.query(nodes[0], k=0)
+                with pytest.raises(ServeError, match="algorithm|Algorithm"):
+                    client.query(nodes[0], k=3, algorithm="nonsense")
+                with pytest.raises(ServeError, match="non-empty"):
+                    client._call({"op": "query", "queries": []})
+                # The connection and server survive all of it.
+                assert client.ping()
+                assert client.query(nodes[0], k=3)
+
+    def test_unknown_op_is_an_error(self, random_gnp):
+        with make_server(random_gnp) as server:
+            host, port = server.address
+            with ServeClient(host=host, port=port) as client:
+                with pytest.raises(ServeError, match="unknown op"):
+                    client._call({"op": "frobnicate"})
+
+    def test_info_and_stats(self, random_gnp):
+        with make_server(random_gnp, max_batch=32) as server:
+            host, port = server.address
+            with ServeClient(host=host, port=port) as client:
+                info = client.info()
+                assert info["num_nodes"] == random_gnp.num_nodes
+                assert info["max_batch"] == 32
+                assert info["has_index"] is True
+                assert info["durable"] is False
+                client.query(sorted(random_gnp.nodes())[0], k=3)
+                stats = client.stats()
+                assert stats["queries"] >= 1
+                assert stats["batches"] >= 1
+                assert stats["index_known_ranks"] > 0
+
+    def test_unix_socket_transport(self, random_gnp, tmp_path):
+        path = str(tmp_path / "serve.sock")
+        engine = ReverseKRanksEngine(random_gnp)
+        engine.build_index(num_hubs=3, capacity=16)
+        server = QueryServer(
+            engine, config=ServeConfig(max_wait_ms=2.0), unix_path=path
+        )
+        with server:
+            with ServeClient(unix_path=path) as client:
+                assert client.ping()
+                assert client.query(
+                    sorted(random_gnp.nodes())[0], k=3, algorithm="indexed"
+                )
+        # The socket file is cleaned up on stop.
+        assert not (tmp_path / "serve.sock").exists()
+
+    def test_shutdown_op_stops_server(self, random_gnp):
+        server = make_server(random_gnp).start()
+        host, port = server.address
+        with ServeClient(host=host, port=port) as client:
+            client.shutdown()
+        server.serve_forever()  # returns because stop() ran
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+
+    def test_garbage_frame_gets_error_response(self, random_gnp):
+        with make_server(random_gnp) as server:
+            host, port = server.address
+            with socket.create_connection((host, port)) as raw:
+                raw.sendall(struct.pack("<I", 3) + b"abc")
+                reply = recv_message(raw)
+                assert reply["ok"] is False
+
+    def test_answered_learning_survives_crash(self, random_gnp, tmp_path):
+        """Durability ordering: an answered query's learning is on disk.
+
+        The server process state is abandoned (no stop(), no final
+        compaction — the kill -9 analogue for in-process tests) and the
+        store directory alone must reproduce every rank the clients'
+        answered queries taught the index.
+        """
+        engine = ReverseKRanksEngine(random_gnp)
+        engine.build_index(num_hubs=3, capacity=16)
+        store = DurableIndexStore(tmp_path / "state")
+        store.install(engine.index)
+        server = QueryServer(
+            engine, config=ServeConfig(max_wait_ms=2.0), store=store
+        ).start()
+        host, port = server.address
+        queries = sample_queries(random_gnp, 4)
+        with ServeClient(host=host, port=port) as client:
+            client.query_many(queries, k=4, algorithm="indexed")
+            answered_state = pickle.dumps(engine.export_state())
+        # Simulated kill -9: nothing is stopped, closed, or compacted.
+        del server, store
+
+        replayed = DurableIndexStore(tmp_path / "state").load(random_gnp)
+        assert pickle.dumps(replayed.export_state()) == answered_state
+
+    def test_clean_stop_compacts_journal(self, random_gnp, tmp_path):
+        engine = ReverseKRanksEngine(random_gnp)
+        engine.build_index(num_hubs=3, capacity=16)
+        store = DurableIndexStore(tmp_path / "state")
+        store.install(engine.index)
+        with QueryServer(
+            engine, config=ServeConfig(max_wait_ms=2.0), store=store
+        ) as server:
+            host, port = server.address
+            with ServeClient(host=host, port=port) as client:
+                client.query_many(
+                    sample_queries(random_gnp, 4), k=4, algorithm="indexed"
+                )
+        reopened = DurableIndexStore(tmp_path / "state")
+        assert reopened.journal.num_records == 0  # folded on shutdown
+        loaded = reopened.load(random_gnp)
+        assert pickle.dumps(loaded.export_state()) == pickle.dumps(
+            engine.export_state()
+        )
+
+
+# ----------------------------------------------------------------------
+# Config validation and bootstrap
+# ----------------------------------------------------------------------
+class TestConfigAndBootstrap:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_wait_ms": -1.0},
+            {"max_pending": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ServeError):
+            ServeConfig(**kwargs)
+
+    def test_parse_fixture_specs(self):
+        workload = parse_fixture("gnp:40:9")
+        assert workload.family == "gnp"
+        assert workload.num_nodes == 40
+        assert workload.seed == 9
+        assert parse_fixture("grid:5").num_nodes == 25
+
+    @pytest.mark.parametrize(
+        "spec", ["nope:10", "gnp:a", "gnp:1:2:3", "bichromatic:20"]
+    )
+    def test_bad_fixture_specs_rejected(self, spec):
+        with pytest.raises(ServeError):
+            parse_fixture(spec)
+
+    def test_prepare_engine_restores_from_store(self, tmp_path):
+        workload = parse_fixture("gnp:30:5")
+        store = DurableIndexStore(tmp_path / "state")
+        engine, restored = prepare_engine(workload, store=store)
+        assert restored is False
+        engine.index.start_learning_log()
+        engine.query_many(workload.queries, workload.k, algorithm="indexed")
+        store.record(engine.index.pop_learning_log())
+        state = pickle.dumps(engine.export_state())
+        del store
+
+        workload2 = parse_fixture("gnp:30:5")
+        engine2, restored2 = prepare_engine(
+            workload2, store=DurableIndexStore(tmp_path / "state")
+        )
+        assert restored2 is True
+        assert pickle.dumps(engine2.export_state()) == state
