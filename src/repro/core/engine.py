@@ -60,6 +60,7 @@ from repro.errors import (
     InvalidQueryNodeError,
     ParallelExecutionError,
     WorkerCrashError,
+    WorkerTimeoutError,
     check_positive_k,
     is_positive_int,
 )
@@ -124,6 +125,19 @@ class ReverseKRanksEngine:
     #: benchmarks lower it to 1 to measure per-request dispatch cost.
     parallel_min_batch: int = 2
 
+    #: Circuit breaker: after this many *batch-level* pool failures (a
+    #: crash budget exhausted, a respawn that would not come back, a
+    #: batch deadline blown), ``query_many(on_pool_failure="retry" |
+    #: "sequential")`` stops attempting parallel execution and serves
+    #: sequentially until :meth:`reset_parallel_breaker`.  ``0`` disables
+    #: the breaker.  Overridable per instance.
+    pool_failure_limit: int = 3
+
+    #: Worker deaths each parallel batch absorbs in place (respawn +
+    #: re-dispatch, see :meth:`WorkerPool.run_batch`) before the batch
+    #: fails.  ``0`` restores fail-fast.  Overridable per instance.
+    pool_crash_retries: int = 2
+
     def __init__(
         self,
         graph,
@@ -179,6 +193,21 @@ class ReverseKRanksEngine:
         #: through the result queues (codec-reported; 0 for sequential
         #: batches).
         self.last_batch_ipc_bytes = 0
+        #: Batch-level pool failures observed (crash budget exhausted,
+        #: failed respawn, blown deadline) — the circuit breaker's input;
+        #: :meth:`reset_parallel_breaker` zeroes it.
+        self.pool_failures = 0
+        #: Parallel-requested batches that were served sequentially
+        #: because the pool failed or the breaker was open.
+        self.sequential_fallbacks = 0
+        #: Fresh-pool parallel retries attempted after a pool failure
+        #: (``on_pool_failure="retry"``).
+        self.parallel_retries = 0
+        # Lifetime worker-level counters, folded in from each pool at
+        # close_pool() time; pool_health() adds the live pool's share.
+        self._worker_crashes_total = 0
+        self._worker_respawns_total = 0
+        self._worker_timeouts_total = 0
 
     # ------------------------------------------------------------------
     @property
@@ -345,6 +374,8 @@ class ReverseKRanksEngine:
         shard_policy: str = "round_robin",
         worker_context: Optional[str] = None,
         stats: str = "per-query",
+        on_pool_failure: str = "retry",
+        batch_timeout: Optional[float] = None,
     ) -> List[QueryResult]:
         """Answer a batch of reverse k-ranks queries, amortising setup work.
 
@@ -422,6 +453,29 @@ class ReverseKRanksEngine:
             payload; sequentially it only selects what
             :attr:`last_batch_stats` records (per-query stats cost nothing
             to keep on in-process results).
+        on_pool_failure:
+            Parallel mode only — what to do when the pool fails a batch
+            even after its in-place healing (crash budget exhausted, a
+            replacement worker that would not start, a blown
+            ``batch_timeout``):
+
+            * ``"retry"`` (default): build one fresh pool and retry the
+              batch in parallel; if that fails too, fall back to the
+              sequential path (bit-identical results, just slower).
+            * ``"sequential"``: skip the retry, fall back immediately.
+            * ``"raise"``: propagate the typed error to the caller.
+
+            Under ``"retry"``/``"sequential"`` a circuit breaker counts
+            batch-level pool failures; past
+            :attr:`pool_failure_limit` the engine stops attempting
+            parallel execution entirely (see :attr:`parallel_degraded` /
+            :meth:`reset_parallel_breaker`).  Every fallback prunes the
+            dead pool first, so no later batch can dispatch to corpses.
+        batch_timeout:
+            Parallel mode only: wall-clock seconds one pool batch may
+            take before the stuck workers are killed and the batch is
+            treated as a pool failure (above).  ``None`` waits
+            indefinitely (crashes still surface via liveness polling).
 
         Returns
         -------
@@ -435,6 +489,11 @@ class ReverseKRanksEngine:
         if not is_positive_int(workers):
             raise ParallelExecutionError(
                 f"workers must be a positive integer, got {workers!r}"
+            )
+        if on_pool_failure not in ("retry", "sequential", "raise"):
+            raise ParallelExecutionError(
+                f"on_pool_failure must be 'retry', 'sequential' or 'raise', "
+                f"got {on_pool_failure!r}"
             )
         if workers > 1:
             if not use_csr:
@@ -453,18 +512,67 @@ class ReverseKRanksEngine:
             if cache_size and cache_size > 0:
                 dispatch = list(dict.fromkeys(batch))
             if len(dispatch) >= max(1, self.parallel_min_batch):
-                unique = self._query_many_parallel(
-                    dispatch, k, kind, bounds, workers, shard_policy,
-                    worker_context, stats,
-                )
-                if len(dispatch) == len(batch):
-                    return unique
-                by_query = dict(zip(dispatch, unique))
-                return [by_query[query] for query in batch]
+                # The breaker only gates the degrading modes; a caller
+                # that asked for raw errors keeps getting real attempts.
+                attempt = on_pool_failure == "raise" or not self.parallel_degraded
+                unique = None
+                if attempt:
+                    try:
+                        unique = self._query_many_parallel(
+                            dispatch, k, kind, bounds, workers, shard_policy,
+                            worker_context, stats, batch_timeout,
+                        )
+                    except (WorkerCrashError, WorkerTimeoutError):
+                        # _query_many_parallel already pruned the pool.
+                        self.pool_failures += 1
+                        if on_pool_failure == "raise":
+                            raise
+                        if (
+                            on_pool_failure == "retry"
+                            and not self.parallel_degraded
+                        ):
+                            self.parallel_retries += 1
+                            try:
+                                unique = self._query_many_parallel(
+                                    dispatch, k, kind, bounds, workers,
+                                    shard_policy, worker_context, stats,
+                                    batch_timeout,
+                                )
+                            except (WorkerCrashError, WorkerTimeoutError):
+                                self.pool_failures += 1
+                if unique is not None:
+                    if len(dispatch) == len(batch):
+                        return unique
+                    by_query = dict(zip(dispatch, unique))
+                    return [by_query[query] for query in batch]
+                # Graceful degradation: the pool is gone (or the breaker
+                # is open) — serve the batch on the sequential path,
+                # which is bit-identical, just unsharded.
+                self.sequential_fallbacks += 1
             # Batch too small to amortise dispatch (and an empty batch
             # has nothing to shard) — fall through to the sequential
             # path, whose LRU serves the duplicates.
 
+        return self._query_many_sequential(
+            batch, k, kind, bounds, use_csr, cache_size, stats
+        )
+
+    def _query_many_sequential(
+        self,
+        batch: List[NodeId],
+        k: int,
+        kind: AlgorithmKind,
+        bounds: Optional[BoundSet],
+        use_csr: bool,
+        cache_size: Optional[int],
+        stats: str,
+    ) -> List[QueryResult]:
+        """The in-process batch path (also the parallel fallback).
+
+        Factored out of :meth:`query_many` so graceful degradation runs
+        *exactly* this code — the fallback cannot drift from what
+        ``workers=1`` would have answered.
+        """
         backend: Optional[CompactGraph] = (
             self.compact_graph() if use_csr else None
         )
@@ -549,14 +657,70 @@ class ReverseKRanksEngine:
         return self._ensure_pool(workers, worker_context)
 
     def close_pool(self) -> None:
-        """Shut down the worker pool, if one is running.  Idempotent."""
+        """Shut down the worker pool, if one is running.  Idempotent.
+
+        The pool's lifetime crash/respawn/timeout counters are folded
+        into the engine's totals first, so :meth:`pool_health` keeps the
+        full history across pool rebuilds.
+        """
         if self._pool is not None:
+            self._worker_crashes_total += self._pool.crash_count
+            self._worker_respawns_total += self._pool.respawn_count
+            self._worker_timeouts_total += self._pool.timeout_count
             self._pool.close()
             self._pool = None
             self._pool_index = None
             self._pool_index_revision = None
             self._pool_version = None
             self._pool_context = None
+
+    @property
+    def parallel_degraded(self) -> bool:
+        """Whether the circuit breaker has given up on parallel execution.
+
+        Opens once :attr:`pool_failures` reaches
+        :attr:`pool_failure_limit` (a limit of ``0`` disables the
+        breaker).  While open, ``query_many(workers=N,
+        on_pool_failure="retry"|"sequential")`` serves every batch on
+        the bit-identical sequential path; :meth:`reset_parallel_breaker`
+        closes it again.
+        """
+        limit = self.pool_failure_limit
+        return limit > 0 and self.pool_failures >= limit
+
+    def reset_parallel_breaker(self) -> None:
+        """Close the circuit breaker: parallel execution is attempted again."""
+        self.pool_failures = 0
+
+    def pool_health(self) -> dict:
+        """Pool liveness + self-healing counters (the ``health`` op's core).
+
+        Worker-level counters (crashes, respawns, timeouts) are lifetime
+        totals: the live pool's share plus everything folded in from
+        pools already pruned by :meth:`close_pool`.
+        """
+        pool = self._pool
+        live = pool is not None and not pool.is_closed
+        pool_health = pool.health() if live else None
+        health = {
+            "pool_active": live,
+            "pool_workers": pool.num_workers if live else 0,
+            "pool_alive": pool_health["alive"] if live else 0,
+            "worker_crashes": self._worker_crashes_total,
+            "worker_respawns": self._worker_respawns_total,
+            "worker_timeouts": self._worker_timeouts_total,
+            "pool_failures": self.pool_failures,
+            "pool_failure_limit": self.pool_failure_limit,
+            "parallel_retries": self.parallel_retries,
+            "sequential_fallbacks": self.sequential_fallbacks,
+            "degraded": self.parallel_degraded,
+        }
+        if live:
+            health["worker_crashes"] += pool_health["crashes"]
+            health["worker_respawns"] += pool_health["respawns"]
+            health["worker_timeouts"] += pool_health["timeouts"]
+            health["worker_generations"] = pool_health["generations"]
+        return health
 
     def __enter__(self) -> "ReverseKRanksEngine":
         return self
@@ -612,6 +776,7 @@ class ReverseKRanksEngine:
                 index_state=index_state,
                 facilities=facilities,
                 context=worker_context,
+                crash_retries=self.pool_crash_retries,
             )
             self._pool_version = version
             self._pool_context = worker_context
@@ -646,6 +811,7 @@ class ReverseKRanksEngine:
         shard_policy: str,
         worker_context: Optional[str],
         stats_mode: str,
+        batch_timeout: Optional[float] = None,
     ) -> List[QueryResult]:
         from repro.parallel import ShardPlanner
 
@@ -658,12 +824,14 @@ class ReverseKRanksEngine:
         )
         try:
             outcome = pool.run_batch(
-                plan, k, kind, bounds=bounds, stats_mode=stats_mode
+                plan, k, kind, bounds=bounds, stats_mode=stats_mode,
+                timeout=batch_timeout,
+                crash_retries=self.pool_crash_retries,
             )
-        except WorkerCrashError:
-            # The pool now contains a dead worker; drop it so a caller's
-            # retry gets a fresh pool instead of re-dispatching shards to
-            # the corpse forever.
+        except (WorkerCrashError, WorkerTimeoutError):
+            # The pool exhausted its in-place healing (or blew the batch
+            # deadline); drop it so a caller's retry gets a fresh pool
+            # instead of re-dispatching shards to the corpse forever.
             self.close_pool()
             raise
         if kind is AlgorithmKind.INDEXED and self._index is not None:

@@ -178,8 +178,72 @@ class WorkerCrashError(ParallelExecutionError):
         self.positions = None if positions is None else tuple(positions)
 
 
+class WorkerTimeoutError(ParallelExecutionError):
+    """Raised when a batch blew its deadline with workers still holding shards.
+
+    ``run_batch(timeout=...)`` polls the result queue against a
+    monotonic deadline instead of forever; when the deadline passes, the
+    pool kills the live-but-stuck workers (a hung worker would otherwise
+    pin its shard until process exit), respawns them best-effort so the
+    pool stays usable, and raises this.  ``worker_ids`` names the
+    workers that were killed; ``positions`` the batch positions whose
+    shards never came back.
+    """
+
+    def __init__(
+        self,
+        timeout: float,
+        worker_ids=(),
+        positions=None,
+        detail: str = "",
+    ) -> None:
+        message = (
+            f"parallel batch missed its {timeout:.3f}s deadline; workers "
+            f"{sorted(worker_ids)!r} were still holding shards and were killed"
+        )
+        if positions is not None:
+            message = (
+                f"{message} (batch positions {sorted(positions)!r} went "
+                "unanswered)"
+            )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.timeout = timeout
+        self.worker_ids = tuple(worker_ids)
+        self.positions = None if positions is None else tuple(positions)
+
+
+class FailpointError(ReproError, OSError):
+    """Raised by an armed ``error``-action failpoint (:mod:`repro.faults`).
+
+    Subclasses :class:`OSError` so injected I/O faults (journal fsync
+    failures, ENOSPC-style write errors) travel through code paths
+    exactly the way the real errno-carrying exceptions would.
+    """
+
+    def __init__(self, name: str, detail: str = "") -> None:
+        message = f"failpoint {name!r} injected a fault"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.failpoint = name
+
+
 class ServeError(ReproError):
     """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class ServeConnectionError(ServeError, ConnectionError):
+    """Raised client-side when the connection failed mid-request.
+
+    Wraps the bare :class:`OSError` a dead socket produces into the
+    repro hierarchy (it still *is* a :class:`ConnectionError`, so
+    existing ``except OSError`` call sites keep working).  The request
+    may or may not have reached the server — queries are idempotent
+    reads, so :class:`~repro.serve.client.ServeClient`'s opt-in
+    ``retries=`` knob reconnects and retries on it.
+    """
 
 
 class JournalCorruptionError(ServeError, ValueError):

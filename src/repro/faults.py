@@ -1,0 +1,385 @@
+"""Deterministic, seeded fault injection (failpoints).
+
+A *failpoint* is a named hook compiled into a hot path —
+``faults.fire("worker.before_task")`` — that does nothing until a test
+or a chaos harness arms it with an *action*.  Armed failpoints turn the
+recovery paths this package promises (worker respawn, batch deadlines,
+journal fault handling, graceful degradation) from theory into things CI
+actually executes, the discipline Jepsen-class storage testing
+popularised.
+
+Activation
+----------
+Programmatic (tests)::
+
+    from repro import faults
+    faults.configure("worker.before_task=crash@0.3", seed=7)
+    ...
+    faults.clear()
+
+Environment (subprocess harnesses; read automatically at import)::
+
+    REPRO_FAILPOINTS="worker.before_task=crash@0.3;journal.fsync=error"
+    REPRO_FAILPOINTS_SEED=7
+
+:class:`~repro.parallel.pool.WorkerPool` exports both variables around
+``Process.start()`` so spawned workers inherit the configuration, and
+every worker re-derives its RNG streams with a ``(worker_id,
+generation)`` salt (:func:`on_worker_start`) — two workers, or the same
+worker before and after a respawn, fire on *different* deterministic
+schedules instead of in lockstep.
+
+Spec grammar
+------------
+``spec := point (";" point)*`` and ``point := name "=" action`` where::
+
+    action := kind [ "(" arg ")" ] [ "@" probability ] [ "#" from_hit ] [ "*" limit ]
+
+    kind        crash  — die instantly (SIGKILL; the "worker vanished" case)
+                error  — raise FailpointError (an OSError; the I/O-fault case)
+                sleep  — block for ``arg`` seconds (the hung-worker case)
+    arg         sleep's duration in seconds, e.g. ``sleep(2.5)``
+    @p          trigger with probability ``p`` per evaluation (seeded RNG;
+                default 1.0 = always)
+    #n          stay dormant for the first ``n - 1`` evaluations
+    *m          disarm after ``m`` triggers (default: unlimited)
+
+Examples: ``worker.before_task=crash@0.25#2`` (from the second task on,
+25% chance per task of dying), ``journal.fsync=error*1`` (exactly one
+injected fsync failure), ``worker.before_result=sleep(8)#3*1`` (hang
+once, on the third result).
+
+Compiled-in failpoints
+----------------------
+=========================  ====================================================
+``worker.start``           in :func:`~repro.parallel.worker.worker_main`,
+                           after the engine is rebuilt, before ``ready``
+``worker.before_task``     before executing each task a worker dequeues
+``worker.before_result``   after computing a task's payload, before
+                           enqueueing it to the parent
+``journal.write``          before a journal record's bytes are written
+                           (the ENOSPC-style fault site)
+``journal.fsync``          before the journal's batch-boundary fsync
+=========================  ====================================================
+
+Determinism: every probabilistic decision comes from a per-failpoint
+``random.Random`` seeded with ``crc32(name) ^ seed ^ salt`` — same spec,
+seed and salt, same trigger schedule, run after run.  ``#``/``*``
+counters are plain per-process counts.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import signal
+import time
+import zlib
+from typing import Dict, Optional
+
+from repro.errors import FailpointError, ReproError
+
+__all__ = [
+    "ENV_SPEC",
+    "ENV_SEED",
+    "FailpointError",
+    "FaultRegistry",
+    "FaultSpecError",
+    "active",
+    "clear",
+    "configure",
+    "configure_from_env",
+    "describe",
+    "env_exports",
+    "fire",
+    "on_worker_start",
+]
+
+#: Environment variable carrying the failpoint spec.
+ENV_SPEC = "REPRO_FAILPOINTS"
+#: Environment variable carrying the registry seed (int; default 0).
+ENV_SEED = "REPRO_FAILPOINTS_SEED"
+
+_ACTION_RE = re.compile(
+    r"^(?P<kind>crash|error|sleep)"
+    r"(?:\((?P<arg>[^)]*)\))?"
+    r"(?:@(?P<probability>[0-9.]+))?"
+    r"(?:#(?P<from_hit>[0-9]+))?"
+    r"(?:\*(?P<limit>[0-9]+))?$"
+)
+
+
+class FaultSpecError(ReproError, ValueError):
+    """Raised when a failpoint spec string cannot be parsed."""
+
+
+class _Failpoint:
+    """One armed failpoint: its action, trigger window, and RNG stream."""
+
+    __slots__ = (
+        "name", "kind", "arg", "probability", "from_hit", "limit",
+        "rng", "hits", "triggers",
+    )
+
+    def __init__(self, name, kind, arg, probability, from_hit, limit):
+        self.name = name
+        self.kind = kind
+        self.arg = arg
+        self.probability = probability
+        self.from_hit = from_hit
+        self.limit = limit
+        self.rng: Optional[random.Random] = None
+        self.hits = 0
+        self.triggers = 0
+
+    def reseed(self, seed: int, salt: int) -> None:
+        self.rng = random.Random(zlib.crc32(self.name.encode()) ^ seed ^ salt)
+        self.hits = 0
+        self.triggers = 0
+
+
+def _parse_point(name: str, action: str) -> _Failpoint:
+    match = _ACTION_RE.match(action)
+    if match is None:
+        raise FaultSpecError(
+            f"failpoint {name!r}: cannot parse action {action!r} "
+            "(expected kind[(arg)][@p][#n][*m] with kind in "
+            "crash/error/sleep)"
+        )
+    kind = match.group("kind")
+    arg_text = match.group("arg")
+    arg = 0.0
+    if kind == "sleep":
+        if not arg_text:
+            raise FaultSpecError(
+                f"failpoint {name!r}: sleep needs a duration, e.g. sleep(0.5)"
+            )
+        try:
+            arg = float(arg_text)
+        except ValueError:
+            raise FaultSpecError(
+                f"failpoint {name!r}: bad sleep duration {arg_text!r}"
+            ) from None
+        if arg < 0:
+            raise FaultSpecError(
+                f"failpoint {name!r}: sleep duration must be >= 0"
+            )
+    elif arg_text:
+        raise FaultSpecError(
+            f"failpoint {name!r}: action {kind!r} takes no argument"
+        )
+    probability = 1.0
+    if match.group("probability") is not None:
+        try:
+            probability = float(match.group("probability"))
+        except ValueError:
+            raise FaultSpecError(
+                f"failpoint {name!r}: bad probability "
+                f"{match.group('probability')!r}"
+            ) from None
+        if not 0.0 <= probability <= 1.0:
+            raise FaultSpecError(
+                f"failpoint {name!r}: probability must be in [0, 1], "
+                f"got {probability}"
+            )
+    from_hit = int(match.group("from_hit") or 1)
+    if from_hit < 1:
+        raise FaultSpecError(f"failpoint {name!r}: #n must be >= 1")
+    limit = match.group("limit")
+    limit = None if limit is None else int(limit)
+    if limit is not None and limit < 1:
+        raise FaultSpecError(f"failpoint {name!r}: *m must be >= 1")
+    return _Failpoint(name, kind, arg, probability, from_hit, limit)
+
+
+class FaultRegistry:
+    """The set of armed failpoints for this process.
+
+    One module-level instance (behind the module-level functions) is the
+    process's registry; the class is separate so tests can exercise
+    parsing and trigger logic in isolation.
+    """
+
+    def __init__(self) -> None:
+        self._points: Dict[str, _Failpoint] = {}
+        self._spec = ""
+        self._seed = 0
+        self._salt = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether any failpoint is armed."""
+        return bool(self._points)
+
+    @property
+    def spec(self) -> str:
+        """The spec string the registry was configured with."""
+        return self._spec
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def configure(self, spec: str, seed: int = 0, salt: int = 0) -> None:
+        """Arm the failpoints named by ``spec`` (replacing any prior set)."""
+        points: Dict[str, _Failpoint] = {}
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            name, separator, action = part.partition("=")
+            name = name.strip()
+            if not separator or not name:
+                raise FaultSpecError(
+                    f"failpoint entry {part!r} is not of the form name=action"
+                )
+            if name in points:
+                raise FaultSpecError(f"failpoint {name!r} specified twice")
+            points[name] = _parse_point(name, action.strip())
+        self._points = points
+        self._spec = spec
+        self._seed = seed
+        self._salt = salt
+        for point in points.values():
+            point.reseed(seed, salt)
+
+    def configure_from_env(self, environ=os.environ) -> bool:
+        """Arm from ``REPRO_FAILPOINTS``; ``False`` when the variable is unset."""
+        spec = environ.get(ENV_SPEC)
+        if not spec:
+            return False
+        seed_text = environ.get(ENV_SEED, "0")
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            raise FaultSpecError(
+                f"{ENV_SEED}={seed_text!r} is not an integer"
+            ) from None
+        self.configure(spec, seed=seed)
+        return True
+
+    def clear(self) -> None:
+        """Disarm every failpoint."""
+        self._points = {}
+        self._spec = ""
+
+    def reseed(self, salt: int) -> None:
+        """Re-derive every RNG stream with ``salt`` mixed in, resetting counters.
+
+        Called at worker startup so each worker process — and each
+        *generation* of a respawned worker — walks its own deterministic
+        trigger schedule instead of replaying the parent's.
+        """
+        self._salt = salt
+        for point in self._points.values():
+            point.reseed(self._seed, salt)
+
+    def env_exports(self) -> Dict[str, str]:
+        """Env vars that reproduce this configuration in a child process."""
+        if not self.active:
+            return {}
+        return {ENV_SPEC: self._spec, ENV_SEED: str(self._seed)}
+
+    def describe(self) -> Dict[str, Dict[str, object]]:
+        """Per-failpoint hit/trigger counters (health and debugging)."""
+        return {
+            name: {
+                "kind": point.kind,
+                "hits": point.hits,
+                "triggers": point.triggers,
+            }
+            for name, point in self._points.items()
+        }
+
+    # ------------------------------------------------------------------
+    def fire(self, name: str) -> None:
+        """Evaluate the failpoint ``name``; no-op unless armed and triggered."""
+        point = self._points.get(name)
+        if point is None:
+            return
+        point.hits += 1
+        if point.limit is not None and point.triggers >= point.limit:
+            return
+        if point.hits < point.from_hit:
+            return
+        if point.probability < 1.0 and point.rng.random() >= point.probability:
+            return
+        point.triggers += 1
+        if point.kind == "sleep":
+            time.sleep(point.arg)
+            return
+        if point.kind == "error":
+            raise FailpointError(name)
+        # crash: die the way a SIGKILLed / OOM-reaped process dies — no
+        # atexit hooks, no finally blocks, nothing flushed.
+        if hasattr(signal, "SIGKILL"):
+            os.kill(os.getpid(), signal.SIGKILL)
+        os._exit(137)  # pragma: no cover - non-posix fallback
+
+
+_REGISTRY = FaultRegistry()
+
+
+def fire(name: str) -> None:
+    """Evaluate failpoint ``name`` on the process registry (hot-path cheap).
+
+    When nothing is armed this is one dict lookup on an empty dict —
+    safe to compile into per-task and per-append paths.
+    """
+    if _REGISTRY._points:
+        _REGISTRY.fire(name)
+
+
+def configure(spec: str, seed: int = 0) -> None:
+    """Arm the process registry from ``spec`` (see the module docstring)."""
+    _REGISTRY.configure(spec, seed=seed)
+
+
+def configure_from_env(environ=os.environ) -> bool:
+    """Arm the process registry from ``REPRO_FAILPOINTS``, if set."""
+    return _REGISTRY.configure_from_env(environ)
+
+
+def clear() -> None:
+    """Disarm the process registry."""
+    _REGISTRY.clear()
+
+
+def active() -> bool:
+    """Whether the process registry has any armed failpoint."""
+    return _REGISTRY.active
+
+
+def env_exports() -> Dict[str, str]:
+    """Env vars that propagate the process registry to a child process."""
+    return _REGISTRY.env_exports()
+
+
+def describe() -> Dict[str, Dict[str, object]]:
+    """The process registry's per-failpoint counters."""
+    return _REGISTRY.describe()
+
+
+def on_worker_start(worker_id: int, generation: int = 0) -> None:
+    """Worker-process entry hook: inherit configuration, personalise RNGs.
+
+    Under ``spawn``/``forkserver`` the fresh interpreter reads the env
+    vars the pool exported; under ``fork`` the registry state was
+    inherited directly.  Either way the RNG streams are re-derived with
+    a ``(worker_id, generation)`` salt so workers — and respawned
+    generations of the same worker — trigger on distinct schedules.
+    """
+    if not _REGISTRY.active:
+        _REGISTRY.configure_from_env()
+    if _REGISTRY.active:
+        _REGISTRY.reseed(worker_id * 1_000_003 + generation)
+
+
+# Subprocess harnesses set REPRO_FAILPOINTS before exec; arming at import
+# means every entry point (the serve CLI, bench, pytest) honours it
+# without explicit plumbing.  A malformed spec fails loudly here rather
+# than silently running a chaos job with no chaos.
+if os.environ.get(ENV_SPEC):
+    _REGISTRY.configure_from_env()

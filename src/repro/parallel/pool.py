@@ -36,12 +36,39 @@ Lifecycle guarantees
 * **Startup barrier** — the constructor blocks until every worker reports
   ``ready``; import errors and corrupted payloads surface immediately as
   typed errors instead of hanging the first batch.
-* **Crash surfacing** — a worker that raises ships its remote traceback
-  back and the batch fails with
+* **Crash surfacing and self-healing** — a worker that raises ships its
+  remote traceback back and the batch fails with
   :class:`~repro.errors.ParallelExecutionError`; a worker that *dies*
-  (signal, OOM kill, interpreter abort) is detected by liveness polling
-  and surfaces as :class:`~repro.errors.WorkerCrashError` with its exit
-  code.
+  (signal, OOM kill, interpreter abort) is detected by liveness polling.
+  :meth:`run_batch` heals from deaths in place: the dead slot is
+  respawned from the retained startup state (with the *latest*
+  hub-index snapshot, not the construction-time one) and the shards the
+  casualty was holding are re-dispatched, up to ``crash_retries`` deaths
+  per batch — only then does the batch fail with
+  :class:`~repro.errors.WorkerCrashError` naming the unanswered
+  positions.  Each respawn bumps the slot's *generation*, which salts
+  the worker's failpoint RNG streams (:mod:`repro.faults`), so an
+  injected crash schedule does not kill every replacement at the same
+  task.
+* **Crash-isolated result channels** — every worker writes results to
+  its *own* queue rather than one shared queue.  This is load-bearing
+  for healing from SIGKILL: a worker killed while its queue feeder
+  thread holds the queue's write lock leaves that (cross-process) lock
+  held forever, and on a shared queue that deadlocks every future
+  writer — including the freshly respawned replacement, whose ``ready``
+  message can then never be delivered.  With per-worker queues the
+  poisoned channel dies with its worker: :meth:`_respawn` discards both
+  of the casualty's queues and gives the replacement fresh ones.  A
+  respawn is additionally bounded by ``respawn_timeout`` (a replacement
+  that cannot report ready is killed and surfaced as a crash) so a
+  wedged replacement can never stall a batch for the full
+  ``start_timeout``.
+* **Batch deadline** — ``run_batch(timeout=...)`` bounds the wall-clock
+  wait; when it expires, the workers still holding shards are killed
+  (terminate, then SIGKILL), respawned best-effort so the pool stays
+  usable, and the batch raises
+  :class:`~repro.errors.WorkerTimeoutError` instead of polling forever
+  behind a hung child.
 * **Graceful shutdown** — :meth:`close` sends each worker the shutdown
   sentinel, joins with a timeout, and only then escalates to
   ``terminate``.  The pool is a context manager; ``close`` is idempotent.
@@ -52,13 +79,21 @@ from __future__ import annotations
 import contextlib
 import itertools
 import multiprocessing
+import multiprocessing.connection
 import os
 import queue as queue_module
+import time
 from typing import Dict, List, Optional, Sequence
 
+from repro import faults
 from repro.core.config import AlgorithmKind
 from repro.core.types import check_stats_mode
-from repro.errors import ParallelExecutionError, WorkerCrashError, is_positive_int
+from repro.errors import (
+    ParallelExecutionError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    is_positive_int,
+)
 from repro.graph.shm import share_compact_graph
 from repro.parallel.merge import ParallelBatchResult, ShardOutput, merge_shard_outputs
 from repro.parallel.planner import ShardPlan, chunk_evenly
@@ -70,33 +105,49 @@ __all__ = ["WorkerPool"]
 _POLL_SECONDS = 0.1
 
 
-@contextlib.contextmanager
-def _child_importable_pythonpath():
-    """Ensure spawned children can ``import repro`` (restores env after).
+class _DeadlineExceeded(Exception):
+    """Internal: :meth:`WorkerPool._receive` hit the batch deadline."""
 
-    ``spawn``/``forkserver`` children start a fresh interpreter that only
-    sees ``PYTHONPATH`` — not the parent's ``sys.path`` manipulations
-    (pytest's ``pythonpath = ["src"]``, editable installs resolved at
-    runtime, ...).  Prepending the package's source root around
-    ``Process.start()`` closes that gap; the mutation is reverted before
-    control returns, so nothing else observes it.
+
+@contextlib.contextmanager
+def _child_spawn_env():
+    """Environment for ``Process.start()`` (restores every override after).
+
+    Two concerns, one scope:
+
+    * ``spawn``/``forkserver`` children start a fresh interpreter that
+      only sees ``PYTHONPATH`` — not the parent's ``sys.path``
+      manipulations (pytest's ``pythonpath = ["src"]``, editable
+      installs resolved at runtime, ...).  Prepending the package's
+      source root closes that gap.
+    * An armed :mod:`repro.faults` registry exports its
+      ``REPRO_FAILPOINTS`` / ``REPRO_FAILPOINTS_SEED`` configuration so
+      chaos schedules follow workers into fresh interpreters too
+      (``fork`` children inherit the registry object directly; the
+      redundant export is harmless).
+
+    Every mutation is reverted before control returns, so nothing else
+    observes it.
     """
     import repro
 
     source_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-    existing = os.environ.get("PYTHONPATH")
-    parts = existing.split(os.pathsep) if existing else []
-    if source_root in parts:
-        yield
-        return
-    os.environ["PYTHONPATH"] = os.pathsep.join([source_root] + parts)
+    overrides = {}
+    existing_path = os.environ.get("PYTHONPATH")
+    parts = existing_path.split(os.pathsep) if existing_path else []
+    if source_root not in parts:
+        overrides["PYTHONPATH"] = os.pathsep.join([source_root] + parts)
+    overrides.update(faults.env_exports())
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
     try:
         yield
     finally:
-        if existing is None:
-            os.environ.pop("PYTHONPATH", None)
-        else:
-            os.environ["PYTHONPATH"] = existing
+        for key, old in saved.items():
+            if old is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = old
 
 
 class WorkerPool:
@@ -121,12 +172,23 @@ class WorkerPool:
         Start method: ``"fork"``, ``"spawn"``, ``"forkserver"`` or
         ``None`` for the platform default.
     start_timeout:
-        Seconds to wait for all workers to report ready.
+        Seconds to wait for all workers to report ready at construction.
+    respawn_timeout:
+        Seconds a *respawned* worker gets to report ready before it is
+        killed and the respawn fails (surfacing as a crash the caller's
+        retry machinery handles).  Much shorter than ``start_timeout``
+        by default: a replacement starts from a warmed payload, so a
+        slot that is not ready quickly is wedged, and waiting the full
+        startup budget would stall the in-flight batch.
     share_graph:
         ``None`` (default): share the CSR buffers via shared memory when
         the platform supports it, falling back to pickled copies.
         ``True``: require shared memory (raise otherwise).  ``False``:
         always ship pickled copies.
+    crash_retries:
+        Default number of worker deaths :meth:`run_batch` heals from
+        (respawn + re-dispatch) before giving up on a batch; ``0``
+        restores the fail-fast behaviour.  Overridable per batch.
     """
 
     def __init__(
@@ -137,7 +199,9 @@ class WorkerPool:
         facilities=None,
         context: Optional[str] = None,
         start_timeout: float = 60.0,
+        respawn_timeout: float = 10.0,
         share_graph: Optional[bool] = None,
+        crash_retries: int = 2,
     ) -> None:
         # Attributes close() touches come first: a constructor failure at
         # any later point must leave close() safe to run.
@@ -145,7 +209,11 @@ class WorkerPool:
         self._graph_owner = None
         self._processes: List[multiprocessing.Process] = []
         self._task_queues = []
-        self._result_queue = None
+        self._result_queues = []
+        if not isinstance(crash_retries, int) or isinstance(crash_retries, bool) or crash_retries < 0:
+            raise ParallelExecutionError(
+                f"crash_retries must be a non-negative integer, got {crash_retries!r}"
+            )
         if not is_positive_int(workers):
             raise ParallelExecutionError(
                 f"workers must be a positive integer, got {workers!r}"
@@ -171,6 +239,19 @@ class WorkerPool:
         # Kept for decoding shard result blocks (entry nodes travel as
         # CSR indexes of this compilation).
         self._graph = graph
+        # Retained so a dead slot can be respawned with current state:
+        # _index_state tracks update_index() broadcasts, so replacements
+        # start from the latest snapshot, not the construction-time one.
+        self._ctx = ctx
+        self._index_state = index_state
+        self._facilities = facilities
+        self._start_timeout = start_timeout
+        self._respawn_timeout = respawn_timeout
+        self._crash_retries = crash_retries
+        self._generations = [0] * workers
+        self._crash_count = 0
+        self._respawn_count = 0
+        self._timeout_count = 0
         try:
             if share_graph is not False:
                 try:
@@ -195,23 +276,16 @@ class WorkerPool:
                 ),
             )
             self._startup_payload_bytes = len(init_bytes)
-            self._result_queue = ctx.Queue()
+            # One result queue PER worker: crash isolation (see the
+            # module docstring) — a SIGKILLed worker can only poison its
+            # own channel, which _respawn discards with the slot.
+            self._result_queues = [ctx.Queue() for _ in range(workers)]
             self._task_queues = [ctx.Queue() for _ in range(workers)]
-            with _child_importable_pythonpath():
+            with _child_spawn_env():
                 for worker_id in range(workers):
-                    process = ctx.Process(
-                        target=worker_main,
-                        args=(
-                            worker_id,
-                            init_bytes,
-                            self._task_queues[worker_id],
-                            self._result_queue,
-                        ),
-                        name=f"repro-worker-{worker_id}",
-                        daemon=True,
+                    self._processes.append(
+                        self._spawn_process(worker_id, init_bytes)
                     )
-                    process.start()
-                    self._processes.append(process)
             self._await_ready(start_timeout)
         except BaseException:
             self.close(timeout=2.0)
@@ -264,6 +338,40 @@ class WorkerPool:
         """The workers' process ids (``None`` before start, after close)."""
         return [process.pid for process in self._processes]
 
+    @property
+    def crash_count(self) -> int:
+        """Worker deaths observed over the pool's lifetime."""
+        return self._crash_count
+
+    @property
+    def respawn_count(self) -> int:
+        """Workers respawned over the pool's lifetime."""
+        return self._respawn_count
+
+    @property
+    def timeout_count(self) -> int:
+        """Batches that blew their deadline over the pool's lifetime."""
+        return self._timeout_count
+
+    def health(self) -> Dict[str, object]:
+        """A snapshot of pool liveness and self-healing counters.
+
+        ``alive`` counts workers currently running; ``generations`` is
+        the per-slot respawn count (all zeros for a pool that never lost
+        a worker).  Safe to call on a closed pool.
+        """
+        return {
+            "workers": self._num_workers,
+            "alive": sum(1 for process in self._processes if process.is_alive()),
+            "crashes": self._crash_count,
+            "respawns": self._respawn_count,
+            "timeouts": self._timeout_count,
+            "generations": list(self._generations),
+            "start_method": self._start_method,
+            "shared_graph": self.uses_shared_graph,
+            "closed": self._closed,
+        }
+
     def __enter__(self) -> "WorkerPool":
         return self
 
@@ -286,12 +394,17 @@ class WorkerPool:
         bounds=None,
         collect_deltas: Optional[bool] = None,
         stats_mode: str = "per-query",
+        timeout: Optional[float] = None,
+        crash_retries: Optional[int] = None,
     ) -> ParallelBatchResult:
-        """Execute one planned batch across the workers.
+        """Execute one planned batch across the workers, healing crashes.
 
         Shard ``i`` of the plan runs on worker ``i mod num_workers`` (the
         identity mapping when the plan was built for this pool's worker
-        count, which keeps the affinity policy's pinning honest).
+        count, which keeps the affinity policy's pinning honest); workers
+        echo the shard index back, so attribution never depends on
+        arrival order — which is what makes re-dispatching a dead
+        worker's shards to its replacement safe.
 
         ``collect_deltas`` defaults to "whenever the workers hold an
         index and the algorithm is indexed" — exactly when there is
@@ -300,15 +413,25 @@ class WorkerPool:
         :mod:`repro.parallel.codec`); with ``"none"`` the merged batch's
         ``stats`` is ``None``.
 
+        ``timeout`` bounds the batch in wall-clock seconds; ``None``
+        waits indefinitely (liveness-polled, so crashes still surface).
+        ``crash_retries`` caps how many worker deaths this batch absorbs
+        (respawn + re-dispatch) before failing; ``None`` uses the pool's
+        construction-time default.
+
         Raises
         ------
         ParallelExecutionError
             When the pool is closed, or a worker reported an exception
-            (the remote traceback is embedded in the message).
+            (the remote traceback is embedded in the message) — worker
+            *exceptions* are deterministic, so they are never retried.
         WorkerCrashError
-            When a worker process died without reporting anything; its
-            ``positions`` attribute names the batch positions the dead
-            worker was still holding.
+            When worker deaths exceeded ``crash_retries``, or a
+            replacement worker could not be started; ``positions`` names
+            the batch positions that went unanswered.
+        WorkerTimeoutError
+            When ``timeout`` expired with shards still outstanding; the
+            stuck workers are killed (and respawned best-effort) first.
         """
         if self._closed:
             raise ParallelExecutionError(
@@ -318,14 +441,19 @@ class WorkerPool:
         check_stats_mode(stats_mode)
         if collect_deltas is None:
             collect_deltas = self._has_index and kind is AlgorithmKind.INDEXED
+        if crash_retries is None:
+            crash_retries = self._crash_retries
         job_id = next(self._job_ids)
         shards = plan.non_empty()
         shard_by_index = {shard.index: shard for shard in shards}
-        for shard in shards:
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def dispatch(shard) -> None:
             self._task_queues[shard.index % self._num_workers].put(
                 (
                     "query",
                     job_id,
+                    shard.index,
                     shard.positions,
                     shard.queries,
                     k,
@@ -335,26 +463,88 @@ class WorkerPool:
                     stats_mode,
                 )
             )
+
+        def lost_positions(shard_indexes) -> tuple:
+            return tuple(
+                position
+                for shard_index in sorted(shard_indexes)
+                for position in shard_by_index[shard_index].positions
+            )
+
+        for shard in shards:
+            dispatch(shard)
         outputs: List[ShardOutput] = []
-        returned: set = set()
-        pending = len(shards)
-        arrival: Dict[int, int] = {}
-        while pending:
+        outstanding = set(shard_by_index)
+        crashes = 0
+        while outstanding:
             try:
-                message_kind, worker_id, message_job, payload = self._receive()
-            except WorkerCrashError as exc:
-                # Name the casualties: every position of a shard assigned
-                # to the dead worker that has not come back yet.
-                lost = tuple(
-                    position
-                    for shard in shards
-                    if shard.index % self._num_workers == exc.worker_id
-                    and shard.index not in returned
-                    for position in shard.positions
+                message_kind, worker_id, message_job, payload = self._receive(
+                    deadline
                 )
-                raise WorkerCrashError(
-                    exc.worker_id, exc.exitcode, positions=lost
-                ) from exc
+            except WorkerCrashError as exc:
+                self._crash_count += 1
+                crashes += 1
+                # The casualty's unanswered shards: assigned to it and not
+                # back yet (a result it flushed before dying already left
+                # `outstanding`).
+                lost = [
+                    shard_index
+                    for shard_index in outstanding
+                    if shard_index % self._num_workers == exc.worker_id
+                ]
+                if crashes > crash_retries:
+                    raise WorkerCrashError(
+                        exc.worker_id,
+                        exc.exitcode,
+                        detail=(
+                            f"batch crash budget exhausted "
+                            f"({crashes} deaths > {crash_retries} retries)"
+                            if crash_retries
+                            else ""
+                        ),
+                        positions=lost_positions(lost),
+                    ) from exc
+                try:
+                    self._respawn(exc.worker_id)
+                except BaseException as respawn_exc:
+                    raise WorkerCrashError(
+                        exc.worker_id,
+                        exc.exitcode,
+                        detail=f"respawning the worker failed: {respawn_exc}",
+                        positions=lost_positions(lost),
+                    ) from respawn_exc
+                for shard_index in sorted(lost):
+                    dispatch(shard_by_index[shard_index])
+                continue
+            except _DeadlineExceeded:
+                self._timeout_count += 1
+                stuck = sorted(
+                    {
+                        shard_index % self._num_workers
+                        for shard_index in outstanding
+                    }
+                )
+                for stuck_id in stuck:
+                    self._kill_worker(stuck_id)
+                # Best-effort respawn so the pool survives the batch; a
+                # slot that cannot come back will surface as a crash on
+                # the next batch (which heals or fails loudly there).
+                detail = ""
+                for stuck_id in stuck:
+                    try:
+                        self._respawn(stuck_id)
+                    except BaseException as respawn_exc:
+                        detail = (
+                            f"worker {stuck_id} could not be respawned "
+                            f"({respawn_exc}); the pool is degraded"
+                        )
+                        break
+                raise WorkerTimeoutError(
+                    timeout,
+                    worker_ids=stuck,
+                    positions=lost_positions(outstanding),
+                    detail=detail,
+                ) from None
             if message_job != job_id:
                 # A leftover from a batch that failed after this worker had
                 # already finished its shard; drop it.
@@ -364,16 +554,10 @@ class WorkerPool:
                     f"worker {worker_id} failed while evaluating its shard:\n"
                     f"{payload}"
                 )
-            positions, results, delta = payload
-            arrival[worker_id] = arrival.get(worker_id, 0) + 1
-            # Recover the shard index deterministically: workers process
-            # their queue in FIFO order, and shard s went to worker s % N,
-            # so the j-th arrival from worker w is the j-th shard (in index
-            # order) assigned to w.
-            shard_index = self._nth_shard_of_worker(
-                shards, worker_id, arrival[worker_id]
-            )
-            returned.add(shard_index)
+            shard_index, positions, results, delta = payload
+            if shard_index not in outstanding:
+                continue  # defensive: duplicate delivery
+            outstanding.discard(shard_index)
             outputs.append(
                 ShardOutput(
                     shard_index=shard_index,
@@ -385,7 +569,6 @@ class WorkerPool:
                     queries=shard_by_index[shard_index].queries,
                 )
             )
-            pending -= 1
         return merge_shard_outputs(
             outputs, batch_size=plan.num_queries, csr=self._graph
         )
@@ -414,6 +597,9 @@ class WorkerPool:
                 "cannot update the index on a closed WorkerPool"
             )
         job_id = next(self._job_ids)
+        # Retain it first: even if a worker dies mid-sync and the caller
+        # retries, a respawned replacement must start from this snapshot.
+        self._index_state = index_state
         for task_queue in self._task_queues:
             task_queue.put(("index", job_id, index_state))
         pending = self._num_workers
@@ -477,71 +663,216 @@ class WorkerPool:
             pending -= 1
         return [deltas[worker_id] for worker_id in dispatched]
 
-    def _nth_shard_of_worker(self, shards, worker_id: int, nth: int) -> int:
-        """Index of the ``nth`` (1-based) shard dispatched to ``worker_id``."""
-        count = 0
-        for shard_index in sorted(shard.index for shard in shards):
-            if shard_index % self._num_workers == worker_id:
-                count += 1
-                if count == nth:
-                    return shard_index
-        raise ParallelExecutionError(  # pragma: no cover - protocol violation
-            f"worker {worker_id} returned more shards than it was assigned"
+    def _receive(self, deadline: Optional[float] = None):
+        """Next worker message, polling liveness so crashes cannot hang us.
+
+        Waits on every worker's result channel at once
+        (:func:`multiprocessing.connection.wait` over the queues' read
+        pipes — ``Queue`` has no multi-queue wait of its own), so a
+        message from any worker is picked up within one poll interval.
+        Raises :class:`~repro.errors.WorkerCrashError` when a worker is
+        found dead with its own channel drained, and the internal
+        :class:`_DeadlineExceeded` when ``deadline`` (monotonic seconds)
+        passes first.
+        """
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise _DeadlineExceeded()
+            readers = {
+                result_queue._reader: result_queue
+                for result_queue in self._result_queues
+            }
+            ready = multiprocessing.connection.wait(
+                list(readers), timeout=_POLL_SECONDS
+            )
+            for reader in ready:
+                try:
+                    return readers[reader].get_nowait()
+                except queue_module.Empty:  # pragma: no cover - feeder race
+                    continue
+            if ready:  # pragma: no cover - all ready readers raced empty
+                continue
+            for worker_id, process in enumerate(self._processes):
+                if not process.is_alive():
+                    # Give the crashed worker's final message (flushed by
+                    # its queue feeder before death) one last chance.
+                    try:
+                        return self._result_queues[worker_id].get(
+                            timeout=_POLL_SECONDS
+                        )
+                    except queue_module.Empty:
+                        raise WorkerCrashError(
+                            worker_id, process.exitcode
+                        ) from None
+
+    # -- self-healing machinery ----------------------------------------
+    def _spawn_process(self, worker_id: int, init_bytes: bytes):
+        """Start one worker process for ``worker_id`` (caller sets env)."""
+        generation = self._generations[worker_id]
+        name = f"repro-worker-{worker_id}"
+        if generation:
+            name = f"{name}-g{generation}"
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                worker_id,
+                init_bytes,
+                self._task_queues[worker_id],
+                self._result_queues[worker_id],
+                generation,
+            ),
+            name=name,
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def _current_init_bytes(self) -> bytes:
+        """The startup payload a worker spawned *now* should receive."""
+        return build_init_payload(
+            None if self._graph_owner is not None else self._graph,
+            index_state=self._index_state,
+            facilities=self._facilities,
+            graph_handle=(
+                self._graph_owner.handle if self._graph_owner is not None else None
+            ),
         )
 
-    def _receive(self):
-        """Next worker message, polling liveness so crashes cannot hang us."""
+    def _respawn(self, worker_id: int) -> None:
+        """Replace a dead/killed worker slot with a fresh process.
+
+        *Both* of the old slot's queues are abandoned: the task queue
+        may still hold tasks the casualty never dequeued (re-dispatch is
+        the caller's job), and the result queue may be poisoned — a
+        worker killed while its queue feeder thread held the write lock
+        leaves that cross-process lock held forever, wedging any future
+        writer.  The generation counter is bumped (salting the
+        replacement's failpoint RNGs) and the call blocks until the
+        replacement reports ready on its fresh channel, bounded by
+        ``respawn_timeout``.  Other workers' in-flight messages stay
+        buffered in their own channels throughout.
+        """
+        old_process = self._processes[worker_id]
+        try:
+            old_process.join(timeout=1.0)  # reap the zombie
+        except Exception:
+            pass
+        for old_queue in (
+            self._task_queues[worker_id],
+            self._result_queues[worker_id],
+        ):
+            for cleanup in (old_queue.close, old_queue.cancel_join_thread):
+                try:
+                    cleanup()
+                except Exception:
+                    pass
+        self._generations[worker_id] += 1
+        self._task_queues[worker_id] = self._ctx.Queue()
+        self._result_queues[worker_id] = self._ctx.Queue()
+        with _child_spawn_env():
+            self._processes[worker_id] = self._spawn_process(
+                worker_id, self._current_init_bytes()
+            )
+        self._await_worker_ready(worker_id)
+        self._respawn_count += 1
+
+    def _await_worker_ready(self, worker_id: int) -> None:
+        """Block until the respawned ``worker_id`` reports ready.
+
+        Reads only the replacement's own fresh result queue; nothing
+        stale can appear on it and nothing from the in-flight batch can
+        be swallowed.  On timeout the replacement is killed before
+        raising — a wedged child must not outlive the respawn attempt —
+        and the caller's crash handling turns the failure into a typed
+        batch error instead of a ``start_timeout``-long stall.
+        """
+        deadline = time.monotonic() + self._respawn_timeout
+        result_queue = self._result_queues[worker_id]
         while True:
+            if time.monotonic() >= deadline:
+                self._kill_worker(worker_id)
+                raise ParallelExecutionError(
+                    f"respawned worker {worker_id} did not report ready "
+                    f"within {self._respawn_timeout:.0f}s (killed)"
+                )
             try:
-                return self._result_queue.get(timeout=_POLL_SECONDS)
+                message = result_queue.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
-                for worker_id, process in enumerate(self._processes):
-                    if not process.is_alive():
-                        # Give a crashed worker's final message (flushed by
-                        # the queue feeder before death) one last chance.
-                        try:
-                            return self._result_queue.get(timeout=_POLL_SECONDS)
-                        except queue_module.Empty:
-                            raise WorkerCrashError(
-                                worker_id, process.exitcode
-                            ) from None
+                process = self._processes[worker_id]
+                if not process.is_alive():
+                    raise WorkerCrashError(
+                        worker_id, process.exitcode, detail="during respawn"
+                    ) from None
+                continue
+            message_kind, _, message_job, payload = message
+            if message_kind == "ready":
+                return
+            if message_kind == "error" and message_job is None:
+                raise ParallelExecutionError(
+                    f"respawned worker {worker_id} failed to start:\n"
+                    f"{payload}"
+                )
+
+    def _kill_worker(self, worker_id: int) -> None:
+        """Forcibly stop a live-but-stuck worker (terminate, then kill)."""
+        process = self._processes[worker_id]
+        try:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        except Exception:  # pragma: no cover - already-dead races
+            pass
 
     def _await_ready(self, timeout: float) -> None:
-        deadline = timeout / _POLL_SECONDS
-        ready = 0
-        polls = 0.0
-        while ready < self._num_workers:
-            try:
-                message_kind, worker_id, _, payload = self._result_queue.get(
-                    timeout=_POLL_SECONDS
-                )
-            except queue_module.Empty:
-                polls += 1
-                if polls > deadline:
-                    hint = ""
-                    if self._start_method != "fork":
-                        hint = (
-                            "; under the spawn/forkserver start methods the "
-                            "launching script must be import-safe — guard "
-                            "pool creation with `if __name__ == '__main__':` "
-                            "or children re-execute the script instead of "
-                            "starting"
-                        )
+        deadline = time.monotonic() + timeout
+        pending = set(range(self._num_workers))
+        while pending:
+            readers = {
+                self._result_queues[worker_id]._reader: worker_id
+                for worker_id in pending
+            }
+            ready = multiprocessing.connection.wait(
+                list(readers), timeout=_POLL_SECONDS
+            )
+            for reader in ready:
+                worker_id = readers[reader]
+                try:
+                    message_kind, _, _, payload = self._result_queues[
+                        worker_id
+                    ].get_nowait()
+                except queue_module.Empty:  # pragma: no cover - feeder race
+                    continue
+                if message_kind == "error":
                     raise ParallelExecutionError(
-                        f"worker pool startup timed out after {timeout:.0f}s "
-                        f"({ready}/{self._num_workers} workers ready){hint}"
-                    ) from None
-                for worker_id, process in enumerate(self._processes):
-                    if not process.is_alive():
-                        raise WorkerCrashError(
-                            worker_id, process.exitcode, detail="during startup"
-                        ) from None
+                        f"worker {worker_id} failed to start:\n{payload}"
+                    )
+                pending.discard(worker_id)
+            if ready:
                 continue
-            if message_kind == "error":
+            for worker_id in sorted(pending):
+                process = self._processes[worker_id]
+                if not process.is_alive():
+                    raise WorkerCrashError(
+                        worker_id, process.exitcode, detail="during startup"
+                    ) from None
+            if time.monotonic() >= deadline:
+                hint = ""
+                if self._start_method != "fork":
+                    hint = (
+                        "; under the spawn/forkserver start methods the "
+                        "launching script must be import-safe — guard "
+                        "pool creation with `if __name__ == '__main__':` "
+                        "or children re-execute the script instead of "
+                        "starting"
+                    )
+                num_ready = self._num_workers - len(pending)
                 raise ParallelExecutionError(
-                    f"worker {worker_id} failed to start:\n{payload}"
-                )
-            ready += 1
+                    f"worker pool startup timed out after {timeout:.0f}s "
+                    f"({num_ready}/{self._num_workers} workers ready){hint}"
+                ) from None
 
     # ------------------------------------------------------------------
     def close(self, timeout: float = 10.0) -> None:
@@ -577,10 +908,7 @@ class WorkerPool:
                         process.join(timeout=2.0)
                 except Exception:
                     pass
-            queues = list(self._task_queues)
-            if self._result_queue is not None:
-                queues.append(self._result_queue)
-            for any_queue in queues:
+            for any_queue in list(self._task_queues) + list(self._result_queues):
                 try:
                     any_queue.close()
                 except (OSError, ValueError, BrokenPipeError, AttributeError):

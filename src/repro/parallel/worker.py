@@ -38,19 +38,32 @@ shutdown sentinel.
 Message protocol (all tuples, queue-pickled)
 --------------------------------------------
 * parent -> worker: tagged tuples —
-  ``("query", job_id, positions, queries, k, algorithm_value, bounds,
-  collect_delta, stats_mode)`` for a query shard,
-  ``("hubs", job_id, hubs, explore_limit, capacity)`` for a hub-index
-  build shard, ``("index", job_id, index_state)`` to adopt a fresher
-  hub-index snapshot (acknowledged with a bare ``"done"``), or ``None``
-  to shut down.
+  ``("query", job_id, shard_index, positions, queries, k,
+  algorithm_value, bounds, collect_delta, stats_mode)`` for a query
+  shard, ``("hubs", job_id, hubs, explore_limit, capacity)`` for a
+  hub-index build shard, ``("index", job_id, index_state)`` to adopt a
+  fresher hub-index snapshot (acknowledged with a bare ``"done"``), or
+  ``None`` to shut down.
 * worker -> parent: ``(kind, worker_id, job_id, payload)`` where ``kind``
   is ``"ready"`` (startup complete), ``"done"`` (payload is
-  ``(positions, block, delta)`` for a query shard — ``block`` a flat
+  ``(shard_index, positions, block, delta)`` for a query shard —
+  ``shard_index`` echoed from the task so the parent can attribute and
+  re-dispatch shards without assuming arrival order, ``block`` a flat
   :class:`~repro.parallel.codec.ShardResultBlock`; see
   :mod:`repro.parallel.codec` for the wire format — or a bare
   :class:`~repro.core.hub_index.HubIndexDelta` for a hub shard) or
   ``"error"`` (payload is a formatted remote traceback string).
+
+Fault injection
+---------------
+Three :mod:`repro.faults` failpoints are compiled into the serving loop:
+``worker.start`` (after the engine is rebuilt, before ``ready``),
+``worker.before_task`` (per dequeued task) and ``worker.before_result``
+(after computing a payload, before enqueueing it — the hung-worker
+site).  :func:`~repro.faults.on_worker_start` re-derives the trigger
+RNGs with a ``(worker_id, generation)`` salt, so a respawned worker does
+not replay its predecessor's crash schedule and die at the same task
+forever.
 """
 
 from __future__ import annotations
@@ -58,6 +71,8 @@ from __future__ import annotations
 import pickle
 import traceback
 from typing import Dict, Optional
+
+from repro import faults
 
 __all__ = ["build_init_payload", "worker_main"]
 
@@ -137,10 +152,10 @@ class _WorkerState:
         self.engine = ReverseKRanksEngine(graph, partition=partition, index=index)
 
     def run_shard(
-        self, positions, queries, k, algorithm, bounds, collect_delta,
-        stats_mode="per-query",
+        self, shard_index, positions, queries, k, algorithm, bounds,
+        collect_delta, stats_mode="per-query",
     ):
-        """Evaluate one query shard; returns ``(positions, block, delta)``.
+        """Evaluate one query shard; returns ``(shard_index, positions, block, delta)``.
 
         ``block`` is the shard's results packed into flat array buffers
         by :class:`~repro.parallel.codec.ShardResultCodec` under
@@ -166,7 +181,7 @@ class _WorkerState:
         block = ShardResultCodec.encode(
             results, self.engine.graph, stats_mode=stats_mode
         )
-        return tuple(positions), block, delta
+        return shard_index, tuple(positions), block, delta
 
     def update_index(self, index_state) -> None:
         """Replace the engine's hub-index snapshot with a fresher one.
@@ -227,7 +242,13 @@ class _WorkerState:
             pass
 
 
-def worker_main(worker_id: int, init_bytes: bytes, task_queue, result_queue) -> None:
+def worker_main(
+    worker_id: int,
+    init_bytes: bytes,
+    task_queue,
+    result_queue,
+    generation: int = 0,
+) -> None:
     """Entry point of one worker process.
 
     Reports ``"ready"`` after the engine is rebuilt, then answers tagged
@@ -235,9 +256,15 @@ def worker_main(worker_id: int, init_bytes: bytes, task_queue, result_queue) -> 
     while serving a task — is formatted with its traceback and shipped
     to the parent as an ``"error"`` message; the worker survives task
     errors (the next task may be fine) but startup errors are fatal.
+
+    ``generation`` is the slot's respawn count (0 for the original
+    worker); it only feeds the failpoint RNG salt, so replacement
+    workers walk fresh deterministic fault schedules.
     """
+    faults.on_worker_start(worker_id, generation)
     try:
         state = _WorkerState(pickle.loads(init_bytes))
+        faults.fire("worker.start")
     except BaseException:
         result_queue.put(("error", worker_id, None, traceback.format_exc()))
         return
@@ -250,14 +277,15 @@ def worker_main(worker_id: int, init_bytes: bytes, task_queue, result_queue) -> 
                 break
             tag, job_id = task[0], task[1]
             try:
+                faults.fire("worker.before_task")
                 if tag == "query":
                     (
-                        positions, queries, k, algorithm, bounds, collect_delta,
-                        stats_mode,
+                        shard_index, positions, queries, k, algorithm, bounds,
+                        collect_delta, stats_mode,
                     ) = task[2:]
                     payload = state.run_shard(
-                        positions, queries, k, algorithm, bounds, collect_delta,
-                        stats_mode,
+                        shard_index, positions, queries, k, algorithm, bounds,
+                        collect_delta, stats_mode,
                     )
                 elif tag == "hubs":
                     hubs, explore_limit, capacity = task[2:]
@@ -268,6 +296,7 @@ def worker_main(worker_id: int, init_bytes: bytes, task_queue, result_queue) -> 
                     payload = None
                 else:
                     raise ValueError(f"unknown worker task tag {tag!r}")
+                faults.fire("worker.before_result")
             except BaseException:
                 result_queue.put(
                     ("error", worker_id, job_id, traceback.format_exc())

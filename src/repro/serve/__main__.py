@@ -84,6 +84,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--capacity", type=int, default=16)
     parser.add_argument(
+        "--batch-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline per parallel batch dispatch; a batch that "
+        "overruns it kills the stuck workers and fails over per "
+        "--on-pool-failure (default: no deadline)",
+    )
+    parser.add_argument(
+        "--on-pool-failure",
+        default="retry",
+        choices=("retry", "sequential", "raise"),
+        help="what a worker-pool crash/timeout does to the batch: retry "
+        "on a healed pool, fall back to in-process sequential "
+        "execution, or surface the error (default: retry)",
+    )
+    parser.add_argument(
         "--compact-bytes",
         type=int,
         default=4 * 1024 * 1024,
@@ -129,6 +146,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         worker_context=args.worker_context,
         default_k=args.default_k,
         default_algorithm=args.default_algorithm,
+        batch_timeout_s=args.batch_timeout,
+        on_pool_failure=args.on_pool_failure,
     )
     server = QueryServer(
         engine,

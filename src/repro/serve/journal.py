@@ -48,6 +48,7 @@ import zlib
 from pathlib import Path
 from typing import List, Optional, Tuple
 
+from repro import faults
 from repro.core.hub_index import HubIndex, HubIndexDelta
 from repro.errors import JournalCorruptionError
 
@@ -222,6 +223,14 @@ class DeltaJournal:
         With ``sync`` (defaulting to the journal's construction-time
         setting) the record is fsynced before returning — the server's
         batch-boundary durability point.
+
+        Failure atomicity: if the write, flush or fsync raises (ENOSPC,
+        an injected ``journal.write`` / ``journal.fsync`` failpoint, a
+        dying disk), the file is truncated back to the pre-append offset
+        and the in-memory state is untouched — the journal stays exactly
+        as if the append never happened, so a later append may legally
+        reuse the sequence number and replay never sees a half-durable
+        record.
         """
         if seq <= self._last_seq:
             raise ValueError(
@@ -231,11 +240,24 @@ class DeltaJournal:
         payload = pickle.dumps(
             {"seq": seq, "delta": delta}, protocol=pickle.HIGHEST_PROTOCOL
         )
-        self._handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
-        self._handle.write(payload)
-        self._handle.flush()
-        if self._sync if sync is None else sync:
-            os.fsync(self._handle.fileno())
+        start = self._handle.tell()
+        try:
+            faults.fire("journal.write")
+            self._handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+            self._handle.write(payload)
+            self._handle.flush()
+            faults.fire("journal.fsync")
+            if self._sync if sync is None else sync:
+                os.fsync(self._handle.fileno())
+        except BaseException:
+            # Roll the file back so the failed record cannot linger as a
+            # valid-looking frame the caller believes was never written.
+            try:
+                self._handle.truncate(start)
+                self._handle.seek(start)
+            except OSError:  # pragma: no cover - disk truly gone; open()'s
+                pass  # torn-tail healing is the backstop
+            raise
         self._entries.append((seq, delta))
         self._last_seq = seq
         return self._handle.tell()

@@ -4,8 +4,10 @@
 threads, each issuing one request at a time (closed loop: the next
 request leaves only when the previous response lands), and reports
 per-request latency percentiles plus end-to-end throughput.  Overloaded
-responses — the server's explicit backpressure — are retried after a
-short backoff and counted.
+responses — the server's explicit backpressure — are retried with
+capped exponential backoff and full jitter (so a herd of rejected
+clients decorrelates instead of re-colliding on the same tick) and
+counted, both in aggregate and per client.
 
 ``--compare-batching`` is the acceptance harness for the coalescing
 claim: it boots two servers *in process* over identically built fixture
@@ -21,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import threading
 import time
@@ -30,10 +33,36 @@ from typing import List, Optional
 from repro.errors import ServeError, ServerOverloadedError
 from repro.serve.client import ServeClient
 
-__all__ = ["LoadReport", "run_load", "compare_batching", "main"]
+__all__ = [
+    "LoadReport",
+    "overload_backoff_s",
+    "run_load",
+    "compare_batching",
+    "main",
+]
 
 _OVERLOAD_BACKOFF_S = 0.002
+_OVERLOAD_BACKOFF_CAP_S = 0.25
 _MAX_OVERLOAD_RETRIES = 1000
+
+
+def overload_backoff_s(
+    attempt: int,
+    rng: random.Random,
+    base_s: float = _OVERLOAD_BACKOFF_S,
+    cap_s: float = _OVERLOAD_BACKOFF_CAP_S,
+) -> float:
+    """Sleep before overload retry ``attempt`` (0-based): full jitter.
+
+    ``uniform(0, min(cap_s, base_s * 2**attempt))`` — the classic
+    capped-exponential window with full jitter.  A fixed (or linearly
+    growing) delay marches every rejected client back through the
+    admission gate in lockstep, re-creating the very burst that was
+    rejected; sampling the whole window spreads the herd out while the
+    cap keeps the worst-case wait bounded.
+    """
+    window = min(cap_s, base_s * (2.0 ** attempt))
+    return rng.uniform(0.0, window)
 
 
 def _percentile(sorted_values: List[float], fraction: float) -> float:
@@ -56,6 +85,7 @@ class LoadReport:
     queries: int
     duration_s: float
     overload_retries: int
+    retries_per_client: List[int] = field(default_factory=list)
     latencies_ms: List[float] = field(repr=False, default_factory=list)
 
     @property
@@ -81,6 +111,7 @@ class LoadReport:
             "p50_ms": round(self.p50_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
             "overload_retries": self.overload_retries,
+            "retries_per_client": list(self.retries_per_client),
         }
 
 
@@ -100,15 +131,20 @@ def run_load(
     Each thread owns one connection and walks the query list round-robin
     from its own offset (so concurrent clients hit different nodes),
     sending ``queries_per_request`` queries per request.  An overloaded
-    response backs off briefly and retries the same request; any other
-    error aborts the run.
+    response retries the same request after a capped-exponential,
+    fully-jittered backoff (see :func:`overload_backoff_s`); any other
+    error aborts the run.  The report carries both the aggregate retry
+    count and a per-client breakdown, so a single starved connection
+    shows up instead of averaging away.
     """
     latencies_lock = threading.Lock()
     latencies: List[float] = []
-    overload_retries = [0]
+    retries_per_client = [0] * num_clients
     errors: List[BaseException] = []
 
     def client_loop(client_id: int) -> None:
+        rng = random.Random(client_id)  # jitter decorrelates anyway
+        retries = 0
         try:
             with ServeClient(
                 host=host, port=port, unix_path=unix_path, timeout=120.0
@@ -127,9 +163,8 @@ def run_load(
                             client.query_many(request, k=k, algorithm=algorithm)
                             break
                         except ServerOverloadedError:
-                            with latencies_lock:
-                                overload_retries[0] += 1
-                            time.sleep(_OVERLOAD_BACKOFF_S * (attempt + 1))
+                            retries += 1
+                            time.sleep(overload_backoff_s(attempt, rng))
                     else:
                         raise ServeError(
                             "request still overloaded after "
@@ -138,8 +173,10 @@ def run_load(
                     local.append((time.perf_counter() - started) * 1000.0)
                 with latencies_lock:
                     latencies.extend(local)
+                    retries_per_client[client_id] = retries
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
             with latencies_lock:
+                retries_per_client[client_id] = retries
                 errors.append(exc)
 
     threads = [
@@ -160,7 +197,8 @@ def run_load(
         requests=total_requests,
         queries=total_requests * queries_per_request,
         duration_s=duration,
-        overload_retries=overload_retries[0],
+        overload_retries=sum(retries_per_client),
+        retries_per_client=retries_per_client,
         latencies_ms=latencies,
     )
 

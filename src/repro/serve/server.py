@@ -85,6 +85,20 @@ class ServeConfig:
         worker pool.
     ``default_k`` / ``default_algorithm``
         Applied to query requests that omit ``k`` / ``algorithm``.
+    ``batch_timeout_s``
+        Wall-clock bound on one coalesced batch's *parallel* execution;
+        a pool batch that exceeds it has its stuck workers killed and is
+        handled per ``on_pool_failure``.  ``None`` (default) waits
+        indefinitely (worker crashes still surface via liveness
+        polling).
+    ``on_pool_failure``
+        The engine's graceful-degradation mode (see
+        :meth:`~repro.core.engine.ReverseKRanksEngine.query_many`):
+        ``"retry"`` (default) retries on a fresh pool then falls back to
+        bit-identical sequential execution, ``"sequential"`` falls back
+        immediately, ``"raise"`` fails the affected requests.  With
+        ``"retry"``/``"sequential"`` the server keeps answering
+        correctly while the pool heals (or stays degraded).
     """
 
     max_batch: int = 64
@@ -94,6 +108,8 @@ class ServeConfig:
     worker_context: Optional[str] = None
     default_k: int = 1
     default_algorithm: str = "dynamic"
+    batch_timeout_s: Optional[float] = None
+    on_pool_failure: str = "retry"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -105,6 +121,16 @@ class ServeConfig:
         if self.max_pending < 1:
             raise ServeError(
                 f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.batch_timeout_s is not None and self.batch_timeout_s <= 0:
+            raise ServeError(
+                f"batch_timeout_s must be > 0 (or None), got "
+                f"{self.batch_timeout_s}"
+            )
+        if self.on_pool_failure not in ("retry", "sequential", "raise"):
+            raise ServeError(
+                f"on_pool_failure must be 'retry', 'sequential' or 'raise', "
+                f"got {self.on_pool_failure!r}"
             )
 
 
@@ -167,6 +193,10 @@ class _Batcher:
         self.queries = 0
         self.requests = 0
         self.overloads = 0
+        #: Batches whose journal write/fsync failed — their responses
+        #: were withheld (failed loudly) to preserve the durability
+        #: contract.
+        self.journal_failures = 0
         self._thread = threading.Thread(
             target=self._run, name="repro-serve-batcher", daemon=True
         )
@@ -326,6 +356,8 @@ class _Batcher:
                         worker_context=self._config.worker_context,
                         cache_size=len(queries),
                         stats="none",
+                        on_pool_failure=self._config.on_pool_failure,
+                        batch_timeout=self._config.batch_timeout_s,
                     )
                 finally:
                     delta = (
@@ -338,9 +370,21 @@ class _Batcher:
             # Durability point: the batch's learning hits the fsynced
             # journal BEFORE any response is released, so an answer a
             # client has seen implies learning that survives kill -9.
+            # A journal I/O failure therefore fails THIS batch's requests
+            # loudly (no response escapes un-fsynced learning) and never
+            # the batcher thread — the server keeps serving, and
+            # DeltaJournal.append's truncate-back keeps later appends and
+            # replay consistent.
             if self._store is not None and delta:
-                self._store.record(delta)
-                self._store.maybe_compact(index)
+                try:
+                    self._store.record(delta)
+                    self._store.maybe_compact(index)
+                except BaseException as exc:  # noqa: BLE001 - forwarded per request
+                    with self._lock:
+                        self.journal_failures += 1
+                    for request in requests:
+                        request.fail(exc)
+                    continue
             offset = 0
             for request in requests:
                 request.succeed(results[offset:offset + len(request.queries)])
@@ -573,6 +617,8 @@ class QueryServer:
             return self._op_info(), False
         if op == "stats":
             return self._op_stats(), False
+        if op == "health":
+            return self._op_health(), False
         if op == "shutdown":
             return {"ok": True, "stopping": True}, True
         return {"ok": False, "error": f"unknown op {op!r}"}, False
@@ -641,6 +687,26 @@ class QueryServer:
             info["index_capacity"] = index.capacity
             info["index_num_hubs"] = len(index.hubs)
         return info
+
+    def _op_health(self) -> dict:
+        """Liveness + self-healing counters (never queued; always answers).
+
+        ``healthy`` means the serving machinery itself is intact (batcher
+        thread alive, not stopping); ``degraded`` means the engine's
+        circuit breaker gave up on parallel execution and batches run
+        sequentially — correct answers, reduced throughput.  The
+        worker-level counters come from
+        :meth:`~repro.core.engine.ReverseKRanksEngine.pool_health` and
+        survive pool rebuilds.
+        """
+        batcher = self._batcher
+        health = {
+            "ok": True,
+            "healthy": batcher._thread.is_alive() and not self._stopped.is_set(),
+            "journal_failures": batcher.journal_failures,
+        }
+        health.update(self._engine.pool_health())
+        return health
 
     def _op_stats(self) -> dict:
         batcher = self._batcher

@@ -353,7 +353,11 @@ class TestCrashPositions:
     def test_worker_crash_error_names_lost_batch_positions(self, random_gnp):
         csr = CompactGraph.from_graph(random_gnp)
         queries = sorted(random_gnp.nodes(), key=repr)[:6]
-        with WorkerPool(csr, workers=2, context=FAST_CONTEXT) as pool:
+        # crash_retries=0: fail-fast, so the crash surfaces as the typed
+        # error under test instead of being healed in place.
+        with WorkerPool(
+            csr, workers=2, context=FAST_CONTEXT, crash_retries=0
+        ) as pool:
             victim = pool.worker_pids[0]
             os.kill(victim, signal.SIGKILL)
             deadline = time.time() + 5.0

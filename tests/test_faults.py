@@ -1,0 +1,231 @@
+"""Unit tests for the deterministic failpoint registry (repro.faults)."""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.errors import FailpointError
+from repro.faults import ENV_SEED, ENV_SPEC, FaultRegistry, FaultSpecError
+
+
+@pytest.fixture(autouse=True)
+def _disarm_process_registry():
+    """Never let a test leak armed failpoints into the rest of the suite."""
+    yield
+    faults.clear()
+
+
+# ----------------------------------------------------------------------
+# spec parsing
+
+
+def test_parse_all_kinds_and_modifiers():
+    registry = FaultRegistry()
+    registry.configure(
+        "a.crash=crash; b.error=error@0.5 ;c.sleep=sleep(1.5)#3*2;"
+    )
+    described = registry.describe()
+    assert set(described) == {"a.crash", "b.error", "c.sleep"}
+    assert described["a.crash"]["kind"] == "crash"
+    assert described["b.error"]["kind"] == "error"
+    assert described["c.sleep"]["kind"] == "sleep"
+    assert registry.active
+
+
+def test_empty_spec_arms_nothing():
+    registry = FaultRegistry()
+    registry.configure("")
+    assert not registry.active
+    registry.fire("anything")  # no-op, no error
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "x=explode",  # unknown kind
+        "x=sleep",  # sleep needs a duration
+        "x=sleep(fast)",  # non-numeric duration
+        "x=sleep(-1)",  # negative duration
+        "x=crash(1)",  # crash takes no argument
+        "x=error@1.5",  # probability out of range
+        "x=error#0",  # from-hit must be >= 1
+        "x=error*0",  # trigger limit must be >= 1
+        "justaname",  # no '='
+        "=error",  # empty name
+        "x=error;x=crash",  # duplicate name
+    ],
+)
+def test_bad_specs_raise(spec):
+    registry = FaultRegistry()
+    with pytest.raises(FaultSpecError):
+        registry.configure(spec)
+
+
+def test_bad_env_seed_raises():
+    registry = FaultRegistry()
+    with pytest.raises(FaultSpecError):
+        registry.configure_from_env({ENV_SPEC: "x=error", ENV_SEED: "soon"})
+
+
+# ----------------------------------------------------------------------
+# trigger semantics
+
+
+def test_error_kind_raises_typed_oserror():
+    registry = FaultRegistry()
+    registry.configure("journal.fsync=error")
+    with pytest.raises(FailpointError) as excinfo:
+        registry.fire("journal.fsync")
+    assert isinstance(excinfo.value, OSError)
+    assert excinfo.value.failpoint == "journal.fsync"
+    registry.fire("journal.write")  # unarmed point stays silent
+
+
+def test_from_hit_dormancy_and_trigger_limit():
+    registry = FaultRegistry()
+    registry.configure("x=error#3*2")
+    registry.fire("x")  # hit 1: dormant
+    registry.fire("x")  # hit 2: dormant
+    for _ in range(2):  # hits 3-4: the two budgeted triggers
+        with pytest.raises(FailpointError):
+            registry.fire("x")
+    registry.fire("x")  # budget spent: silent again
+    counters = registry.describe()["x"]
+    assert counters["hits"] == 5
+    assert counters["triggers"] == 2
+
+
+def _trigger_schedule(seed, salt, n=64):
+    registry = FaultRegistry()
+    registry.configure("x=error@0.5", seed=seed)
+    registry.reseed(salt)
+    schedule = []
+    for _ in range(n):
+        try:
+            registry.fire("x")
+            schedule.append(False)
+        except FailpointError:
+            schedule.append(True)
+    return schedule
+
+
+def test_probability_is_deterministic_per_seed_and_salt():
+    assert _trigger_schedule(7, 0) == _trigger_schedule(7, 0)
+    assert _trigger_schedule(7, 0) != _trigger_schedule(8, 0)
+    # Worker salts decorrelate identically-configured processes.
+    assert _trigger_schedule(7, 1_000_003) != _trigger_schedule(7, 0)
+    schedule = _trigger_schedule(7, 0)
+    assert any(schedule) and not all(schedule)
+
+
+def test_reseed_resets_counters():
+    registry = FaultRegistry()
+    registry.configure("x=error*1")
+    with pytest.raises(FailpointError):
+        registry.fire("x")
+    registry.fire("x")  # disarmed by the limit
+    registry.reseed(0)
+    with pytest.raises(FailpointError):  # fresh budget after reseed
+        registry.fire("x")
+
+
+def test_sleep_kind_blocks():
+    registry = FaultRegistry()
+    registry.configure("x=sleep(0.05)*1")
+    started = time.perf_counter()
+    registry.fire("x")
+    assert time.perf_counter() - started >= 0.04
+    started = time.perf_counter()
+    registry.fire("x")  # limit spent: returns immediately
+    assert time.perf_counter() - started < 0.04
+
+
+def test_crash_kind_dies_like_sigkill():
+    code = (
+        "from repro.faults import FaultRegistry\n"
+        "r = FaultRegistry()\n"
+        "r.configure('x=crash')\n"
+        "r.fire('x')\n"
+        "print('survived')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert result.returncode != 0
+    assert "survived" not in result.stdout
+
+
+# ----------------------------------------------------------------------
+# environment propagation
+
+
+def test_env_exports_round_trip():
+    parent = FaultRegistry()
+    parent.configure("worker.before_task=crash@0.3;journal.fsync=error", seed=9)
+    exports = parent.env_exports()
+    assert exports[ENV_SPEC] == parent.spec
+    assert exports[ENV_SEED] == "9"
+
+    child = FaultRegistry()
+    assert child.configure_from_env(exports)
+    assert child.spec == parent.spec
+    assert child.seed == 9
+    assert set(child.describe()) == {"worker.before_task", "journal.fsync"}
+
+
+def test_env_exports_empty_when_inactive():
+    registry = FaultRegistry()
+    assert registry.env_exports() == {}
+    assert not registry.configure_from_env({})
+
+
+def test_clear_disarms_and_stops_exporting():
+    registry = FaultRegistry()
+    registry.configure("x=error")
+    registry.clear()
+    assert not registry.active
+    assert registry.env_exports() == {}
+    registry.fire("x")  # silent
+
+
+# ----------------------------------------------------------------------
+# module-level registry and the worker entry hook
+
+
+def test_module_registry_fire_and_describe():
+    faults.configure("x=error*1", seed=1)
+    assert faults.active()
+    with pytest.raises(FailpointError):
+        faults.fire("x")
+    faults.fire("x")
+    assert faults.describe()["x"]["triggers"] == 1
+    assert faults.env_exports() == {ENV_SPEC: "x=error*1", ENV_SEED: "1"}
+    faults.clear()
+    assert not faults.active()
+
+
+def test_on_worker_start_arms_from_env(monkeypatch):
+    faults.clear()
+    monkeypatch.setenv(ENV_SPEC, "x=error")
+    monkeypatch.setenv(ENV_SEED, "4")
+    faults.on_worker_start(worker_id=2, generation=1)
+    assert faults.active()
+    with pytest.raises(FailpointError):
+        faults.fire("x")
+
+
+def test_on_worker_start_salts_existing_registry():
+    faults.configure("x=error@0.5", seed=7)
+    faults.on_worker_start(worker_id=1, generation=0)
+    schedule = []
+    for _ in range(64):
+        try:
+            faults.fire("x")
+            schedule.append(False)
+        except FailpointError:
+            schedule.append(True)
+    assert schedule == _trigger_schedule(7, 1 * 1_000_003 + 0)
+    assert schedule != _trigger_schedule(7, 0)

@@ -10,15 +10,17 @@ additive exploration counters; and a replayed index is bit-identical
 
 from __future__ import annotations
 
+import errno
 import os
 import pickle
 import struct
 
 import pytest
 
+from repro import faults
 from repro.core import ReverseKRanksEngine
 from repro.core.hub_index import HubIndex, HubIndexDelta
-from repro.errors import JournalCorruptionError
+from repro.errors import FailpointError, JournalCorruptionError
 from repro.serve.journal import (
     JOURNAL_MAGIC,
     DeltaJournal,
@@ -326,3 +328,115 @@ class TestDurableIndexStore:
         index, meta = HubIndex.load_with_meta(path, random_gnp)
         assert meta == {}
         assert index.num_known_ranks == engine.index.num_known_ranks
+
+
+# ----------------------------------------------------------------------
+# Injected I/O faults: durability must fail loudly and roll back cleanly
+# ----------------------------------------------------------------------
+class _ShortDisk:
+    """File-handle proxy that runs out of space mid-write (ENOSPC)."""
+
+    def __init__(self, handle, budget_bytes):
+        self._handle = handle
+        self._budget = budget_bytes
+
+    def write(self, data):
+        if len(data) > self._budget:
+            self._handle.write(data[: self._budget])
+            self._budget = 0
+            raise OSError(errno.ENOSPC, "No space left on device")
+        self._budget -= len(data)
+        return self._handle.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self._handle, name)
+
+
+class TestJournalFaults:
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        yield
+        faults.clear()
+
+    @pytest.mark.parametrize("point", ["journal.write", "journal.fsync"])
+    def test_injected_fault_fails_loudly_and_rolls_back(self, tmp_path, point):
+        """A failed append must look like it never happened.
+
+        Both fault sites — before the bytes hit the file and before the
+        batch-boundary fsync — raise out of ``append`` (the server turns
+        that into failed responses, never silent un-durable successes),
+        and the file plus in-memory state roll back to the pre-append
+        record boundary.
+        """
+        path = tmp_path / "journal.bin"
+        with DeltaJournal(path) as journal:
+            journal.append(1, make_delta(0))
+            size_before = journal.size_bytes
+            faults.configure(f"{point}=error*1")
+            with pytest.raises(FailpointError):
+                journal.append(2, make_delta(1))
+            assert journal.size_bytes == size_before
+            assert journal.last_seq == 1
+            assert journal.num_records == 1
+            # The failed sequence was never durable, so reusing it is legal.
+            journal.append(2, make_delta(2))
+        with DeltaJournal(path) as journal:
+            entries = journal.entries()
+        assert [seq for seq, _ in entries] == [1, 2]
+        assert deltas_equal(entries[1][1], make_delta(2))
+
+    def test_partial_write_enospc_truncates_back(self, tmp_path):
+        """A *torn* write (disk filled mid-record) leaves no residue.
+
+        The proxy lets a few bytes of the frame land before raising
+        ENOSPC — exactly what a real full disk does — and the append's
+        rollback must truncate those bytes so the next append starts at
+        a record boundary and reopen sees only whole records.
+        """
+        path = tmp_path / "journal.bin"
+        with DeltaJournal(path) as journal:
+            journal.append(1, make_delta(0))
+            size_before = journal.size_bytes
+            real_handle = journal._handle
+            journal._handle = _ShortDisk(real_handle, budget_bytes=3)
+            with pytest.raises(OSError):
+                journal.append(2, make_delta(1))
+            journal._handle = real_handle
+            assert journal.size_bytes == size_before
+            journal.append(2, make_delta(2))
+        with DeltaJournal(path) as journal:
+            assert [seq for seq, _ in journal.entries()] == [1, 2]
+
+    def test_replay_after_fault_is_bit_identical(self, tmp_path, random_gnp):
+        """The headline property holds across an injected fsync failure.
+
+        Batch two's delta hits a one-shot fsync fault and never becomes
+        durable; batches one and three land.  A reference index that
+        folds exactly the durable deltas must be pickle-identical to the
+        replayed snapshot + journal — the faulted record contributes
+        nothing, not a half-applied something.
+        """
+        engine = learned_engine(random_gnp)
+        store = DurableIndexStore(tmp_path / "state")
+        store.install(engine.index)
+        # The reference: the snapshot state plus every *durable* delta.
+        reference = DurableIndexStore(tmp_path / "state").load(random_gnp)
+
+        faults.configure("journal.fsync=error#2*1")  # arm for batch two
+        dropped = 0
+        for batch in (1, 2, 3):
+            delta = make_delta(10 * batch)
+            try:
+                store.record(delta)
+            except FailpointError:
+                dropped += 1
+                continue
+            reference.merge_delta(delta)
+        assert dropped == 1
+        assert store.last_seq == 2  # two durable batches, seq 2 reused
+        del store
+
+        replayed = DurableIndexStore(tmp_path / "state").load(random_gnp)
+        assert pickle.dumps(replayed.export_state()) == pickle.dumps(
+            reference.export_state()
+        )

@@ -295,8 +295,46 @@ class TestEngineParallel:
         engine.query_many(queries[:1], 2, workers=2)
         assert engine._pool is None
 
-    def test_engine_recovers_from_worker_crash_on_retry(self, random_gnp):
+    def test_engine_prunes_dead_pool_and_recovers_on_retry(self, random_gnp):
+        # The satellite regression: after a WorkerCrashError escapes, the
+        # cached pool MUST be discarded so the next query_many never
+        # dispatches to dead workers.  Healing is disabled
+        # (pool_crash_retries=0, on_pool_failure="raise") to let the
+        # crash escape at all.
         queries = sorted(random_gnp.nodes(), key=repr)[:6]
+        with ReverseKRanksEngine(random_gnp) as engine:
+            engine.pool_crash_retries = 0
+            engine.query_many(
+                queries, 3, algorithm="dynamic", workers=2,
+                worker_context=FAST_CONTEXT,
+            )
+            first_pids = set(engine._pool.worker_pids)
+            os.kill(engine._pool.worker_pids[0], signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while engine._pool._processes[0].is_alive() and time.time() < deadline:
+                time.sleep(0.05)
+            with pytest.raises(WorkerCrashError):
+                engine.query_many(
+                    queries, 3, algorithm="dynamic", workers=2,
+                    worker_context=FAST_CONTEXT, on_pool_failure="raise",
+                )
+            assert engine._pool is None  # crashed pool was dropped
+            assert engine.pool_health()["worker_crashes"] >= 1
+            retried = engine.query_many(  # retry builds a fresh pool
+                queries, 3, algorithm="dynamic", workers=2,
+                worker_context=FAST_CONTEXT, on_pool_failure="raise",
+            )
+            assert not (set(engine._pool.worker_pids) & first_pids)
+            sequential = engine.query_many(queries, 3, algorithm="dynamic")
+        assert [result.as_pairs() for result in retried] == [
+            result.as_pairs() for result in sequential
+        ]
+
+    def test_engine_heals_worker_crash_in_place(self, random_gnp):
+        # Default semantics: a mid-batch worker death is absorbed by the
+        # pool (respawn + re-dispatch) and the batch still answers
+        # bit-identically to sequential.
+        queries = sorted(random_gnp.nodes(), key=repr)[:8]
         with ReverseKRanksEngine(random_gnp) as engine:
             engine.query_many(
                 queries, 3, algorithm="dynamic", workers=2,
@@ -306,20 +344,72 @@ class TestEngineParallel:
             deadline = time.time() + 5.0
             while engine._pool._processes[0].is_alive() and time.time() < deadline:
                 time.sleep(0.05)
-            with pytest.raises(WorkerCrashError):
-                engine.query_many(
-                    queries, 3, algorithm="dynamic", workers=2,
-                    worker_context=FAST_CONTEXT,
-                )
-            assert engine._pool is None  # crashed pool was dropped
-            retried = engine.query_many(  # retry builds a fresh pool
+            healed = engine.query_many(
                 queries, 3, algorithm="dynamic", workers=2,
                 worker_context=FAST_CONTEXT,
             )
+            health = engine.pool_health()
+            assert health["pool_active"]
+            assert health["worker_crashes"] >= 1
+            assert health["worker_respawns"] >= 1
+            assert not health["degraded"]
             sequential = engine.query_many(queries, 3, algorithm="dynamic")
-        assert [result.as_pairs() for result in retried] == [
+        assert [result.as_pairs() for result in healed] == [
             result.as_pairs() for result in sequential
         ]
+
+    def test_engine_sequential_fallback_and_circuit_breaker(self, random_gnp):
+        from repro import faults
+
+        queries = sorted(random_gnp.nodes(), key=repr)[:6]
+        try:
+            # Every worker dies before its first task; healing disabled so
+            # each parallel attempt fails immediately.
+            faults.configure("worker.before_task=crash")
+            with ReverseKRanksEngine(random_gnp) as engine:
+                engine.pool_crash_retries = 0
+                engine.pool_failure_limit = 2
+                sequential = ReverseKRanksEngine(random_gnp).query_many(
+                    queries, 3, algorithm="dynamic"
+                )
+                # Attempt + retry both fail -> breaker opens -> sequential.
+                degraded = engine.query_many(
+                    queries, 3, algorithm="dynamic", workers=2,
+                    worker_context=FAST_CONTEXT,
+                )
+                assert [r.as_pairs() for r in degraded] == [
+                    r.as_pairs() for r in sequential
+                ]
+                assert engine._pool is None  # dead pool pruned
+                assert engine.parallel_degraded
+                assert engine.pool_failures >= 2
+                assert engine.sequential_fallbacks == 1
+                assert engine.parallel_retries == 1
+                # Breaker open: no parallel attempt, no pool, same answers.
+                again = engine.query_many(
+                    queries, 3, algorithm="dynamic", workers=2,
+                    worker_context=FAST_CONTEXT,
+                )
+                assert engine._pool is None
+                assert engine.sequential_fallbacks == 2
+                assert [r.as_pairs() for r in again] == [
+                    r.as_pairs() for r in sequential
+                ]
+                # Clearing the faults + resetting the breaker restores
+                # parallel execution.
+                faults.clear()
+                engine.reset_parallel_breaker()
+                healed = engine.query_many(
+                    queries, 3, algorithm="dynamic", workers=2,
+                    worker_context=FAST_CONTEXT,
+                )
+                assert engine._pool is not None
+                assert not engine.parallel_degraded
+                assert [r.as_pairs() for r in healed] == [
+                    r.as_pairs() for r in sequential
+                ]
+        finally:
+            faults.clear()
 
     def test_close_pool_is_idempotent_and_context_managed(self, random_gnp):
         queries = sorted(random_gnp.nodes(), key=repr)[:4]
@@ -365,9 +455,12 @@ class TestWorkerPool:
             pool.run_batch(plan, 2, "dynamic")
 
     def test_killed_worker_surfaces_as_typed_crash(self, random_gnp):
+        # crash_retries=0 restores the fail-fast contract this test pins.
         csr = CompactGraph.from_graph(random_gnp)
         queries = sorted(random_gnp.nodes(), key=repr)[:6]
-        with WorkerPool(csr, workers=2, context=FAST_CONTEXT) as pool:
+        with WorkerPool(
+            csr, workers=2, context=FAST_CONTEXT, crash_retries=0
+        ) as pool:
             victim = pool.worker_pids[0]
             os.kill(victim, signal.SIGKILL)
             deadline = time.time() + 5.0
@@ -378,6 +471,142 @@ class TestWorkerPool:
                 pool.run_batch(plan, 3, "dynamic")
             assert excinfo.value.worker_id == 0
             assert excinfo.value.exitcode == -signal.SIGKILL
+            assert excinfo.value.positions  # the lost shard is named
+
+    def test_pool_heals_killed_worker_and_redispatches(self, random_gnp):
+        csr = CompactGraph.from_graph(random_gnp)
+        queries = sorted(random_gnp.nodes(), key=repr)[:8]
+        reference = ReverseKRanksEngine(random_gnp).query_many(
+            queries, 3, algorithm="dynamic"
+        )
+        with WorkerPool(csr, workers=2, context=FAST_CONTEXT) as pool:
+            os.kill(pool.worker_pids[0], signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while pool._processes[0].is_alive() and time.time() < deadline:
+                time.sleep(0.05)
+            plan = ShardPlanner(2).plan(queries)
+            outcome = pool.run_batch(plan, 3, "dynamic")
+            assert pool.crash_count >= 1
+            assert pool.respawn_count >= 1
+            assert pool.health()["generations"][0] >= 1
+            assert [r.as_pairs() for r in outcome.results] == [
+                r.as_pairs() for r in reference
+            ]
+            # The healed pool keeps serving.
+            again = pool.run_batch(plan, 3, "dynamic")
+            assert [r.as_pairs() for r in again.results] == [
+                r.as_pairs() for r in reference
+            ]
+
+    def test_result_channels_are_per_worker_and_replaced_on_respawn(
+        self, random_gnp
+    ):
+        # Crash isolation: each worker writes to its own result queue
+        # (a SIGKILL mid-flush can leave a queue's cross-process write
+        # lock held forever — a shared queue would then wedge every
+        # future writer, including the replacement's "ready" message),
+        # and a respawn must discard the casualty's possibly-poisoned
+        # channel, not reuse it.
+        csr = CompactGraph.from_graph(random_gnp)
+        queries = sorted(random_gnp.nodes(), key=repr)[:6]
+        with WorkerPool(csr, workers=2, context=FAST_CONTEXT) as pool:
+            assert len(pool._result_queues) == 2
+            assert pool._result_queues[0] is not pool._result_queues[1]
+            poisoned = pool._result_queues[0]
+            os.kill(pool.worker_pids[0], signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while pool._processes[0].is_alive() and time.time() < deadline:
+                time.sleep(0.05)
+            plan = ShardPlanner(2).plan(queries)
+            outcome = pool.run_batch(plan, 3, "dynamic")
+            assert len(outcome.results) == len(queries)
+            assert pool.respawn_count >= 1
+            assert pool._result_queues[0] is not poisoned
+
+    def test_wedged_respawn_is_killed_within_respawn_timeout(
+        self, random_gnp
+    ):
+        from repro import faults
+
+        csr = CompactGraph.from_graph(random_gnp)
+        queries = sorted(random_gnp.nodes(), key=repr)[:6]
+        try:
+            with WorkerPool(
+                csr, workers=2, context="fork", respawn_timeout=0.5
+            ) as pool:
+                os.kill(pool.worker_pids[0], signal.SIGKILL)
+                deadline = time.time() + 5.0
+                while pool._processes[0].is_alive() and time.time() < deadline:
+                    time.sleep(0.05)
+                # Armed only now: the running workers never see it, but a
+                # fork-respawned replacement inherits the registry and
+                # stalls before reporting ready — the bounded respawn
+                # must kill it and fail the batch in seconds, not wait
+                # out the 60s startup budget.
+                faults.configure("worker.start=sleep(30)")
+                plan = ShardPlanner(2).plan(queries)
+                start = time.monotonic()
+                with pytest.raises(WorkerCrashError) as excinfo:
+                    pool.run_batch(plan, 3, "dynamic")
+                assert time.monotonic() - start < 10.0
+                assert "respawning the worker failed" in str(excinfo.value)
+                assert "did not report ready" in str(excinfo.value)
+                assert not pool._processes[0].is_alive()  # no leaked child
+        finally:
+            faults.clear()
+
+    def test_batch_deadline_kills_stuck_worker_and_pool_survives(
+        self, random_gnp
+    ):
+        from repro import faults
+        from repro.errors import WorkerTimeoutError
+
+        csr = CompactGraph.from_graph(random_gnp)
+        queries = sorted(random_gnp.nodes(), key=repr)[:8]
+        reference = ReverseKRanksEngine(random_gnp).query_many(
+            queries, 3, algorithm="dynamic"
+        )
+        try:
+            # Each worker stalls once, on its second result — batch 1 is
+            # clean, batch 2 hangs, the respawned replacements (counters
+            # reset) serve batch 3 cleanly again.
+            faults.configure("worker.before_result=sleep(30)#2*1")
+            with WorkerPool(csr, workers=2, context=FAST_CONTEXT) as pool:
+                plan = ShardPlanner(2).plan(queries)
+                pool.run_batch(plan, 3, "dynamic")
+                start = time.monotonic()
+                with pytest.raises(WorkerTimeoutError) as excinfo:
+                    pool.run_batch(plan, 3, "dynamic", timeout=1.0)
+                assert time.monotonic() - start < 20.0  # no 30s hang
+                assert excinfo.value.worker_ids
+                assert excinfo.value.positions
+                assert pool.timeout_count == 1
+                outcome = pool.run_batch(plan, 3, "dynamic", timeout=30.0)
+                assert [r.as_pairs() for r in outcome.results] == [
+                    r.as_pairs() for r in reference
+                ]
+        finally:
+            faults.clear()
+
+    def test_failpoint_error_travels_as_remote_traceback(self, random_gnp):
+        from repro import faults
+
+        csr = CompactGraph.from_graph(random_gnp)
+        try:
+            faults.configure("worker.before_task=error*1")
+            with WorkerPool(csr, workers=1, context=FAST_CONTEXT) as pool:
+                plan = ShardPlanner(1).plan(
+                    sorted(random_gnp.nodes(), key=repr)[:2]
+                )
+                with pytest.raises(ParallelExecutionError) as excinfo:
+                    pool.run_batch(plan, 2, "dynamic")
+                assert "FailpointError" in str(excinfo.value)
+                # *1 disarmed the failpoint: the worker survives and the
+                # next batch is clean.
+                outcome = pool.run_batch(plan, 2, "dynamic")
+                assert len(outcome.results) == 2
+        finally:
+            faults.clear()
 
     def test_worker_exception_carries_remote_traceback(self, random_gnp):
         csr = CompactGraph.from_graph(random_gnp)

@@ -404,3 +404,209 @@ class TestConfigAndBootstrap:
         )
         assert restored2 is True
         assert pickle.dumps(engine2.export_state()) == state
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance: health op, journal faults, client retries, backoff
+# ----------------------------------------------------------------------
+import multiprocessing
+import os as _os
+import random as _random
+
+from repro import faults
+from repro.errors import ServeConnectionError
+from repro.serve.loadgen import overload_backoff_s
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(autouse=True)
+def _disarm_failpoints():
+    yield
+    faults.clear()
+
+
+class TestFaultTolerance:
+    def test_health_op_basics(self, random_gnp):
+        with make_server(random_gnp) as server:
+            host, port = server.address
+            with ServeClient(host=host, port=port) as client:
+                health = client.health()
+        assert health["ok"] is True
+        assert health["healthy"] is True
+        assert health["journal_failures"] == 0
+        assert health["pool_active"] is False
+        assert health["degraded"] is False
+        assert health["worker_crashes"] == 0
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+    def test_health_reflects_pool_crash_and_server_heals(self, random_gnp):
+        """Kill a live worker; the next batch heals and health says so."""
+        reference = ReverseKRanksEngine(random_gnp)
+        reference.build_index(num_hubs=3, capacity=16)
+        queries = sample_queries(random_gnp, 6)
+        with make_server(
+            random_gnp, workers=2, worker_context="fork"
+        ) as server:
+            host, port = server.address
+            with ServeClient(host=host, port=port) as client:
+                first = client.query_many(queries, k=4, algorithm="dynamic")
+                pool = server.engine._pool
+                assert pool is not None
+                _os.kill(pool._processes[0].pid, 9)
+                healed = client.query_many(queries, k=4, algorithm="dynamic")
+                health = client.health()
+            server.engine.close_pool()
+        direct = reference.query_many(queries, 4, algorithm="dynamic")
+        expected = [result.as_pairs() for result in direct]
+        assert first == expected
+        assert healed == expected
+        assert health["worker_crashes"] >= 1
+        assert health["worker_respawns"] >= 1
+        assert health["degraded"] is False
+
+    def test_journal_fault_fails_batch_loudly_and_server_survives(
+        self, random_gnp, tmp_path
+    ):
+        """A journal I/O fault must fail the batch, not fake durability.
+
+        The response contract is: learning is fsynced before any answer
+        releases.  With ``journal.fsync=error`` armed, the batch's
+        requests get an error response (mentioning the failpoint), the
+        batcher thread survives, the failure is counted in ``health``,
+        and the very next batch — fault disarmed by its ``*1`` budget —
+        succeeds and journals normally.
+        """
+        engine = ReverseKRanksEngine(random_gnp)
+        engine.build_index(num_hubs=3, capacity=16)
+        store = DurableIndexStore(tmp_path / "state")
+        store.install(engine.index)
+        queries = sample_queries(random_gnp, 4)
+        with QueryServer(
+            engine, config=ServeConfig(max_wait_ms=2.0), store=store
+        ) as server:
+            host, port = server.address
+            faults.configure("journal.fsync=error*1")
+            with ServeClient(host=host, port=port) as client:
+                with pytest.raises(ServeError, match="FailpointError"):
+                    client.query_many(queries, k=4, algorithm="indexed")
+                health = client.health()
+                assert health["healthy"] is True
+                assert health["journal_failures"] == 1
+                # The batcher survived; the next batch answers and
+                # journals normally.
+                answers = client.query_many(queries, k=4, algorithm="indexed")
+                assert answers
+                assert client.health()["journal_failures"] == 1
+            # The failed batch journalled nothing; the good one did
+            # (clean stop will compact, so check before leaving).
+            assert store.journal.num_records == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_timeout_s": 0.0},
+            {"batch_timeout_s": -1.0},
+            {"on_pool_failure": "nonsense"},
+        ],
+    )
+    def test_bad_fault_config_rejected(self, kwargs):
+        with pytest.raises(ServeError):
+            ServeConfig(**kwargs)
+
+
+class TestClientRetries:
+    def test_connect_failure_is_typed(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ServeConnectionError):
+            ServeClient(host="127.0.0.1", port=free_port, timeout=0.5)
+
+    def test_mid_request_failure_is_typed(self, random_gnp):
+        with make_server(random_gnp) as server:
+            host, port = server.address
+            client = ServeClient(host=host, port=port)
+            try:
+                client._sock.close()  # simulate the connection dying
+                with pytest.raises(ServeConnectionError):
+                    client.ping()
+            finally:
+                client.close()
+
+    def test_retries_reconnect_after_dead_socket(self, random_gnp):
+        with make_server(random_gnp) as server:
+            host, port = server.address
+            client = ServeClient(
+                host=host, port=port, retries=2, backoff_s=0.001
+            )
+            try:
+                client._sock.close()
+                assert client.ping()  # reconnects transparently
+                assert client.retries_used >= 1
+            finally:
+                client.close()
+
+    def test_retries_cover_overload_backpressure(self, random_gnp):
+        """An overloaded response retries inside the client knob."""
+        nodes = sorted(random_gnp.nodes())
+        with make_server(random_gnp, max_pending=2) as server:
+            host, port = server.address
+            server.batcher.pause()
+            try:
+                with ServeClient(host=host, port=port) as blocker:
+                    send_message(
+                        blocker._sock,
+                        {
+                            "op": "query",
+                            "queries": nodes[:2],
+                            "k": 3,
+                            "algorithm": "dynamic",
+                        },
+                    )
+                    for _ in range(500):
+                        if server.batcher.requests >= 1:
+                            break
+                        time.sleep(0.01)
+                    # Unblock the batcher shortly after the first
+                    # overloaded rejection so the retry can land.
+                    threading.Timer(0.05, server.batcher.resume).start()
+                    with ServeClient(
+                        host=host, port=port, retries=50, backoff_s=0.005
+                    ) as client:
+                        assert client.query(
+                            nodes[0], k=3, algorithm="dynamic"
+                        )
+                        assert client.retries_used >= 1
+                    assert recv_message(blocker._sock)["ok"] is True
+            finally:
+                server.batcher.resume()
+
+    def test_retry_knob_validation(self):
+        with pytest.raises(ServeError):
+            ServeClient(host="127.0.0.1", port=1, retries=-1)
+
+
+class TestOverloadBackoff:
+    def test_full_jitter_window_bounds(self):
+        rng = _random.Random(3)
+        for attempt in range(20):
+            delay = overload_backoff_s(attempt, rng, base_s=0.002, cap_s=0.25)
+            assert 0.0 <= delay <= min(0.25, 0.002 * 2**attempt)
+
+    def test_cap_bounds_late_attempts(self):
+        rng = _random.Random(5)
+        samples = [
+            overload_backoff_s(30, rng, base_s=0.002, cap_s=0.25)
+            for _ in range(50)
+        ]
+        assert all(0.0 <= s <= 0.25 for s in samples)
+        # Full jitter: the window is actually used, not a fixed point.
+        assert max(samples) > 0.1
+        assert min(samples) < 0.1
+
+    def test_deterministic_given_rng(self):
+        a = [overload_backoff_s(i, _random.Random(9)) for i in range(5)]
+        b = [overload_backoff_s(i, _random.Random(9)) for i in range(5)]
+        assert a == b

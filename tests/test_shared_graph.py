@@ -264,7 +264,9 @@ class TestPoolTransport:
         csr = CompactGraph.from_graph(random_gnp)
         queries = sorted(random_gnp.nodes(), key=repr)[:6]
         before = _repro_segments()
-        pool = WorkerPool(csr, workers=2, context=FAST_CONTEXT)
+        # crash_retries=0: fail-fast instead of self-healing, so the
+        # crash actually surfaces and we exercise the leak-on-crash path.
+        pool = WorkerPool(csr, workers=2, context=FAST_CONTEXT, crash_retries=0)
         try:
             os.kill(pool.worker_pids[0], signal.SIGKILL)
             deadline = time.time() + 5.0
