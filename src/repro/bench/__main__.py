@@ -140,6 +140,25 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         ),
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "trace the timed batches: each report row gains a "
+            "trace_summary (top spans by inclusive time) from its last "
+            "timed batch; adds span bookkeeping to the timed windows, so "
+            "use for attribution, not for comparing against untraced runs"
+        ),
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write each row's full span tree there as "
+            "{workload}-{row}.trace.json (implies --trace)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=DEFAULT_REPORT_NAME,
         help=f"report path (default: {DEFAULT_REPORT_NAME})",
@@ -235,6 +254,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=workers,
             worker_context=args.worker_context,
             stats_mode=args.stats,
+            trace=args.trace or args.trace_dir is not None,
+            trace_dir=args.trace_dir,
             progress=progress,
         )
     except (WorkloadError, DatasetError, OSError) as exc:
@@ -262,6 +283,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "workers": workers,
             "worker_context": args.worker_context,
             "stats": args.stats,
+            "trace": args.trace or args.trace_dir is not None,
             "families": [workload.family for workload in workloads],
         },
     )

@@ -20,7 +20,11 @@ old vs new timings.  The exit status is non-zero when
 
 Workloads or algorithms present in only one report are listed but never
 fail the diff (suites legitimately grow and shrink); wall-clock noise on
-shared rows is what the tolerance is for.
+shared rows is what the tolerance is for.  Only the chosen ``--metric``
+and the correctness flags are ever read from a row — fields one side
+lacks (``trace_summary`` from a ``--trace`` run, future additions) are
+simply ignored, so observability-annotated reports diff cleanly against
+plain ones.
 
 Absolute seconds only compare meaningfully between runs on the same
 machine, and the default metric is ``best_seconds`` (best of the timed

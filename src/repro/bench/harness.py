@@ -39,6 +39,7 @@ index is *bit-identical* to the sequential build
 
 from __future__ import annotations
 
+import json
 import pickle
 import random
 import statistics
@@ -60,6 +61,7 @@ from repro.errors import (
     WorkloadError,
     is_positive_int,
 )
+from repro.obs.trace import summarize_trace
 from repro.traversal.rank import exact_rank
 
 __all__ = ["AlgorithmTiming", "WorkloadResult", "run_workload", "run_suite"]
@@ -117,6 +119,10 @@ class AlgorithmTiming:
     #: near-constant in ``|V|``; with an index built it is dominated by
     #: the index snapshot.
     startup_payload_bytes: Optional[int] = None
+    #: Traced runs only (``--trace``): the top spans of the last timed
+    #: batch by inclusive time, ``[{"name", "total_s", "count"}, ...]``.
+    #: Absent from untraced reports; :mod:`repro.bench.diff` ignores it.
+    trace_summary: Optional[List[Dict[str, object]]] = None
 
     @property
     def mean_seconds(self) -> Optional[float]:
@@ -167,6 +173,8 @@ class AlgorithmTiming:
             payload["estimated_full_seconds"] = self.estimated_full_seconds
         if self.index_cache is not None:
             payload["index_cache"] = self.index_cache
+        if self.trace_summary is not None:
+            payload["trace_summary"] = self.trace_summary
         return payload
 
 
@@ -389,6 +397,8 @@ def run_workload(
     workers=1,
     worker_context: Optional[str] = None,
     stats_mode: str = "per-query",
+    trace: bool = False,
+    trace_dir: Optional[object] = None,
 ) -> WorkloadResult:
     """Time all four algorithms on ``workload``, across the ``workers`` axis.
 
@@ -438,6 +448,16 @@ def run_workload(
         ``rank_refinements`` column needs them.  The parallel consistency
         reference also runs (untimed) with full per-query stats, so the
         rank-identity gate is mode-independent.
+    trace:
+        Enable the engine's batch tracer for the timed passes; each row
+        records a ``trace_summary`` (top spans by inclusive time) from
+        the last timed batch.  Tracing adds span bookkeeping to the
+        timed windows, so traced timings are for *attribution*, not for
+        comparing against untraced reports.
+    trace_dir:
+        Optional directory (implies ``trace=True``): the full span tree
+        of each row's last timed batch is written there as
+        ``{workload}-{row}.trace.json``.
 
     Raises
     ------
@@ -449,6 +469,10 @@ def run_workload(
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
     check_stats_mode(stats_mode)
+    if trace_dir is not None:
+        trace = True
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
     if workload.naive_sample is not None and workload.partition is not None:
         raise WorkloadError(
             "sampled naive baselines are monochromatic-only for now"
@@ -476,6 +500,8 @@ def run_workload(
     # CompactGraph exactly once, outside every timed window (with warmup=0
     # a per-kind engine would fold the compile into the first repetition).
     engine = ReverseKRanksEngine(graph, partition=workload.partition)
+    if trace:
+        engine.tracer.enabled = True
     search_graph = engine.compact_graph() if use_csr else graph
     if workload.naive_sample is not None:
         sample = _sample_candidates(workload)
@@ -546,6 +572,22 @@ def run_workload(
                         **run_kwargs,
                     )
                     timing.repetitions.append(time.perf_counter() - started)
+
+                if trace and engine.last_trace is not None:
+                    # Capture now: the consistency/backend checks below
+                    # run more (untimed) batches that would overwrite the
+                    # engine's last trace.
+                    last_trace = engine.last_trace
+                    timing.trace_summary = summarize_trace(last_trace, top=5)
+                    if trace_dir is not None:
+                        trace_path = trace_dir / (
+                            f"{workload.name}-{key.replace('@', '-')}"
+                            ".trace.json"
+                        )
+                        trace_path.write_text(
+                            json.dumps(last_trace, indent=2, sort_keys=True)
+                            + "\n"
+                        )
 
                 if num_workers > 1 and stats_mode != "per-query":
                     # Rebuilt results carry empty stats under "aggregate" /
@@ -758,6 +800,8 @@ def run_suite(
     workers=1,
     worker_context: Optional[str] = None,
     stats_mode: str = "per-query",
+    trace: bool = False,
+    trace_dir: Optional[object] = None,
     progress=None,
 ) -> List[WorkloadResult]:
     """Run every workload through :func:`run_workload`.
@@ -785,6 +829,8 @@ def run_suite(
                 workers=workers,
                 worker_context=worker_context,
                 stats_mode=stats_mode,
+                trace=trace,
+                trace_dir=trace_dir,
             )
         )
     return results

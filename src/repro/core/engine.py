@@ -66,6 +66,8 @@ from repro.errors import (
 )
 from repro.graph.csr import CompactGraph
 from repro.graph.partition import BichromaticPartition
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.traversal.arena import ScratchArena
 
 NodeId = Hashable
@@ -143,6 +145,8 @@ class ReverseKRanksEngine:
         graph,
         partition: Optional[BichromaticPartition] = None,
         index: Optional[HubIndex] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if partition is not None and partition.graph is not graph:
             raise BichromaticError(
@@ -195,19 +199,72 @@ class ReverseKRanksEngine:
         self.last_batch_ipc_bytes = 0
         #: Batch-level pool failures observed (crash budget exhausted,
         #: failed respawn, blown deadline) — the circuit breaker's input;
-        #: :meth:`reset_parallel_breaker` zeroes it.
+        #: :meth:`reset_parallel_breaker` zeroes it.  The monotone
+        #: ``repro_pool_failures_total`` counter tracks the same events
+        #: without ever resetting.
         self.pool_failures = 0
-        #: Parallel-requested batches that were served sequentially
-        #: because the pool failed or the breaker was open.
-        self.sequential_fallbacks = 0
-        #: Fresh-pool parallel retries attempted after a pool failure
-        #: (``on_pool_failure="retry"``).
-        self.parallel_retries = 0
-        # Lifetime worker-level counters, folded in from each pool at
-        # close_pool() time; pool_health() adds the live pool's share.
-        self._worker_crashes_total = 0
-        self._worker_respawns_total = 0
-        self._worker_timeouts_total = 0
+        # --- observability (repro.obs) ---------------------------------
+        # Each engine owns a private registry unless handed a shared one
+        # (the serve layer passes a single registry so engine, pool,
+        # journal and batcher metrics land in one scrape).  The worker
+        # pool writes its crash/respawn/timeout/IPC counters into the
+        # same registry, which is how pool_health() survives pool
+        # rebuilds without fold-in bookkeeping.
+        self._registry = registry if registry is not None else MetricsRegistry()
+        #: Per-batch span tracer; disabled (and allocation-free) unless
+        #: ``tracer.enabled`` is set.  ``engine.last_trace`` reads its
+        #: most recent finished tree.
+        self.tracer = tracer if tracer is not None else Tracer()
+        metrics = self._registry
+        self._m_batches = metrics.counter(
+            "repro_query_batches_total",
+            "query_many batches completed, by execution path.",
+            labels=("path",),
+        )
+        self._m_batches_sequential = self._m_batches.labels(path="sequential")
+        self._m_batches_parallel = self._m_batches.labels(path="parallel")
+        self._m_batches_fallback = self._m_batches.labels(
+            path="sequential_fallback"
+        )
+        self._m_queries = metrics.counter(
+            "repro_queries_total",
+            "Queries answered through query_many, by algorithm.",
+            labels=("algorithm",),
+        )
+        self._m_pool_failures = metrics.counter(
+            "repro_pool_failures_total",
+            "Batch-level pool failures (crash budget exhausted, failed "
+            "respawn, blown deadline).",
+        )
+        self._m_parallel_retries = metrics.counter(
+            "repro_parallel_retries_total",
+            "Fresh-pool parallel retries after a pool failure.",
+        )
+        self._m_shard_plans = metrics.counter(
+            "repro_shard_plans_total",
+            "Shard plans produced for parallel batches, by policy.",
+            labels=("policy",),
+        )
+        self._m_shard_skew = metrics.histogram(
+            "repro_shard_skew_ratio",
+            "Largest shard size over the ideal even share, per plan.",
+            labels=("policy",),
+            buckets=(1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0),
+        )
+        # Declared here (idempotently re-registered by the pool) so
+        # pool_health() can read them before any pool exists.
+        self._m_worker_crashes = metrics.counter(
+            "repro_worker_crashes_total",
+            "Worker processes that died mid-batch or failed to respawn.",
+        )
+        self._m_worker_respawns = metrics.counter(
+            "repro_worker_respawns_total",
+            "Worker processes respawned in place after a crash or stall.",
+        )
+        self._m_worker_timeouts = metrics.counter(
+            "repro_worker_timeouts_total",
+            "Batches that blew their deadline and had stuck workers killed.",
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -234,6 +291,36 @@ class ReverseKRanksEngine:
     def arena(self) -> ScratchArena:
         """The engine's reusable :class:`ScratchArena`."""
         return self._arena
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The engine's :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self._registry
+
+    @property
+    def last_trace(self) -> Optional[dict]:
+        """Span tree of the most recent traced batch (``None`` untraced).
+
+        ``{"trace_id": ..., "root": {...}}`` — see :mod:`repro.obs.trace`
+        for the span schema.  Only populated while ``engine.tracer.
+        enabled`` is true; worker-side spans arrive stitched under the
+        ``engine.pool_dispatch`` span.
+        """
+        return self.tracer.last_trace
+
+    @property
+    def sequential_fallbacks(self) -> int:
+        """Parallel-requested batches served sequentially (pool failed or
+        breaker open).  Derived from
+        ``repro_query_batches_total{path="sequential_fallback"}``."""
+        return int(self._m_batches_fallback.value)
+
+    @property
+    def parallel_retries(self) -> int:
+        """Fresh-pool parallel retries attempted after a pool failure.
+
+        Derived from ``repro_parallel_retries_total``."""
+        return int(self._m_parallel_retries.value)
 
     # ------------------------------------------------------------------
     def compact_graph(self) -> CompactGraph:
@@ -495,67 +582,105 @@ class ReverseKRanksEngine:
                 f"on_pool_failure must be 'retry', 'sequential' or 'raise', "
                 f"got {on_pool_failure!r}"
             )
-        if workers > 1:
-            if not use_csr:
-                raise ParallelExecutionError(
-                    "parallel execution ships the CSR compilation to the "
-                    "workers; use_csr=False and workers > 1 are incompatible"
-                )
-            # The result cache, parallel-side: repeated queries are
-            # deduplicated *before* shard planning (k/algorithm/bounds are
-            # batch constants, so the cache key degenerates to the query
-            # node) and the unique results fanned back out afterwards —
-            # duplicate positions share one QueryResult object, exactly
-            # like a sequential cache hit.  Previously the parallel branch
-            # silently ignored cache_size and dispatched every duplicate.
-            dispatch = batch
-            if cache_size and cache_size > 0:
-                dispatch = list(dict.fromkeys(batch))
-            if len(dispatch) >= max(1, self.parallel_min_batch):
-                # The breaker only gates the degrading modes; a caller
-                # that asked for raw errors keeps getting real attempts.
-                attempt = on_pool_failure == "raise" or not self.parallel_degraded
-                unique = None
-                if attempt:
-                    try:
-                        unique = self._query_many_parallel(
-                            dispatch, k, kind, bounds, workers, shard_policy,
-                            worker_context, stats, batch_timeout,
-                        )
-                    except (WorkerCrashError, WorkerTimeoutError):
-                        # _query_many_parallel already pruned the pool.
-                        self.pool_failures += 1
-                        if on_pool_failure == "raise":
-                            raise
-                        if (
-                            on_pool_failure == "retry"
-                            and not self.parallel_degraded
-                        ):
-                            self.parallel_retries += 1
-                            try:
-                                unique = self._query_many_parallel(
-                                    dispatch, k, kind, bounds, workers,
-                                    shard_policy, worker_context, stats,
-                                    batch_timeout,
-                                )
-                            except (WorkerCrashError, WorkerTimeoutError):
-                                self.pool_failures += 1
-                if unique is not None:
-                    if len(dispatch) == len(batch):
-                        return unique
-                    by_query = dict(zip(dispatch, unique))
-                    return [by_query[query] for query in batch]
-                # Graceful degradation: the pool is gone (or the breaker
-                # is open) — serve the batch on the sequential path,
-                # which is bit-identical, just unsharded.
-                self.sequential_fallbacks += 1
-            # Batch too small to amortise dispatch (and an empty batch
-            # has nothing to shard) — fall through to the sequential
-            # path, whose LRU serves the duplicates.
-
-        return self._query_many_sequential(
-            batch, k, kind, bounds, use_csr, cache_size, stats
+        # Reset the per-batch telemetry *before* dispatch: a parallel
+        # batch that degrades to the sequential fallback (or escapes with
+        # a pool error) must not leave the previous batch's ipc_bytes /
+        # stats visible as if they described this batch.
+        self.last_batch_stats = None
+        self.last_batch_ipc_bytes = 0
+        tracer = self.tracer
+        # Worker processes run query_many inside their own "worker.shard"
+        # root; nest under it instead of clobbering the open trace.
+        root = (
+            tracer.span(
+                "engine.query_many",
+                algorithm=kind.value, queries=len(batch), workers=workers,
+            )
+            if tracer.active
+            else tracer.trace(
+                "engine.query_many",
+                algorithm=kind.value, queries=len(batch), workers=workers,
+            )
         )
+        with root:
+            path = "sequential"
+            if workers > 1:
+                if not use_csr:
+                    raise ParallelExecutionError(
+                        "parallel execution ships the CSR compilation to the "
+                        "workers; use_csr=False and workers > 1 are "
+                        "incompatible"
+                    )
+                # The result cache, parallel-side: repeated queries are
+                # deduplicated *before* shard planning (k/algorithm/bounds
+                # are batch constants, so the cache key degenerates to the
+                # query node) and the unique results fanned back out
+                # afterwards — duplicate positions share one QueryResult
+                # object, exactly like a sequential cache hit.  Previously
+                # the parallel branch silently ignored cache_size and
+                # dispatched every duplicate.
+                dispatch = batch
+                if cache_size and cache_size > 0:
+                    dispatch = list(dict.fromkeys(batch))
+                if len(dispatch) >= max(1, self.parallel_min_batch):
+                    # The breaker only gates the degrading modes; a caller
+                    # that asked for raw errors keeps getting real attempts.
+                    attempt = (
+                        on_pool_failure == "raise" or not self.parallel_degraded
+                    )
+                    unique = None
+                    if attempt:
+                        try:
+                            unique = self._query_many_parallel(
+                                dispatch, k, kind, bounds, workers,
+                                shard_policy, worker_context, stats,
+                                batch_timeout,
+                            )
+                        except (WorkerCrashError, WorkerTimeoutError):
+                            # _query_many_parallel already pruned the pool.
+                            self.pool_failures += 1
+                            self._m_pool_failures.inc()
+                            if on_pool_failure == "raise":
+                                raise
+                            if (
+                                on_pool_failure == "retry"
+                                and not self.parallel_degraded
+                            ):
+                                self._m_parallel_retries.inc()
+                                try:
+                                    unique = self._query_many_parallel(
+                                        dispatch, k, kind, bounds, workers,
+                                        shard_policy, worker_context, stats,
+                                        batch_timeout,
+                                    )
+                                except (WorkerCrashError, WorkerTimeoutError):
+                                    self.pool_failures += 1
+                                    self._m_pool_failures.inc()
+                    if unique is not None:
+                        self._m_batches_parallel.inc()
+                        self._m_queries.labels(algorithm=kind.value).inc(
+                            len(batch)
+                        )
+                        if len(dispatch) == len(batch):
+                            return unique
+                        by_query = dict(zip(dispatch, unique))
+                        return [by_query[query] for query in batch]
+                    # Graceful degradation: the pool is gone (or the
+                    # breaker is open) — serve the batch on the sequential
+                    # path, which is bit-identical, just unsharded.
+                    self._m_batches_fallback.inc()
+                    path = "sequential_fallback"
+                # Batch too small to amortise dispatch (and an empty batch
+                # has nothing to shard) — fall through to the sequential
+                # path, whose LRU serves the duplicates.
+
+            results = self._query_many_sequential(
+                batch, k, kind, bounds, use_csr, cache_size, stats
+            )
+            if path == "sequential":
+                self._m_batches_sequential.inc()
+            self._m_queries.labels(algorithm=kind.value).inc(len(batch))
+            return results
 
     def _query_many_sequential(
         self,
@@ -581,18 +706,23 @@ class ReverseKRanksEngine:
             OrderedDict() if cache_size and cache_size > 0 else None
         )
         results: List[QueryResult] = []
-        for query in batch:
-            key = (query, k, kind, bounds)
-            if cache is not None and key in cache:
-                cache.move_to_end(key)
-                results.append(cache[key])
-                continue
-            result = self._dispatch(query, k, kind, bounds, backend=backend)
+        with self.tracer.span("engine.sequential", queries=len(batch)) as span:
+            cache_hits = 0
+            for query in batch:
+                key = (query, k, kind, bounds)
+                if cache is not None and key in cache:
+                    cache.move_to_end(key)
+                    results.append(cache[key])
+                    cache_hits += 1
+                    continue
+                result = self._dispatch(query, k, kind, bounds, backend=backend)
+                if cache is not None:
+                    cache[key] = result
+                    if len(cache) > cache_size:
+                        cache.popitem(last=False)
+                results.append(result)
             if cache is not None:
-                cache[key] = result
-                if len(cache) > cache_size:
-                    cache.popitem(last=False)
-            results.append(result)
+                span.set(cache_hits=cache_hits)
         if stats == "none":
             self.last_batch_stats = STATS_UNAVAILABLE
         else:
@@ -659,14 +789,11 @@ class ReverseKRanksEngine:
     def close_pool(self) -> None:
         """Shut down the worker pool, if one is running.  Idempotent.
 
-        The pool's lifetime crash/respawn/timeout counters are folded
-        into the engine's totals first, so :meth:`pool_health` keeps the
-        full history across pool rebuilds.
+        Pools write their crash/respawn/timeout counters into the
+        engine's shared registry at event time, so :meth:`pool_health`
+        keeps the full history across pool rebuilds with no fold-in.
         """
         if self._pool is not None:
-            self._worker_crashes_total += self._pool.crash_count
-            self._worker_respawns_total += self._pool.respawn_count
-            self._worker_timeouts_total += self._pool.timeout_count
             self._pool.close()
             self._pool = None
             self._pool_index = None
@@ -696,8 +823,9 @@ class ReverseKRanksEngine:
         """Pool liveness + self-healing counters (the ``health`` op's core).
 
         Worker-level counters (crashes, respawns, timeouts) are lifetime
-        totals: the live pool's share plus everything folded in from
-        pools already pruned by :meth:`close_pool`.
+        totals read from the engine's metrics registry, which every pool
+        this engine creates writes into at event time — the payload is
+        byte-compatible with the pre-registry fold-in bookkeeping.
         """
         pool = self._pool
         live = pool is not None and not pool.is_closed
@@ -706,9 +834,9 @@ class ReverseKRanksEngine:
             "pool_active": live,
             "pool_workers": pool.num_workers if live else 0,
             "pool_alive": pool_health["alive"] if live else 0,
-            "worker_crashes": self._worker_crashes_total,
-            "worker_respawns": self._worker_respawns_total,
-            "worker_timeouts": self._worker_timeouts_total,
+            "worker_crashes": int(self._m_worker_crashes.value),
+            "worker_respawns": int(self._m_worker_respawns.value),
+            "worker_timeouts": int(self._m_worker_timeouts.value),
             "pool_failures": self.pool_failures,
             "pool_failure_limit": self.pool_failure_limit,
             "parallel_retries": self.parallel_retries,
@@ -716,9 +844,6 @@ class ReverseKRanksEngine:
             "degraded": self.parallel_degraded,
         }
         if live:
-            health["worker_crashes"] += pool_health["crashes"]
-            health["worker_respawns"] += pool_health["respawns"]
-            health["worker_timeouts"] += pool_health["timeouts"]
             health["worker_generations"] = pool_health["generations"]
         return health
 
@@ -777,6 +902,7 @@ class ReverseKRanksEngine:
                 facilities=facilities,
                 context=worker_context,
                 crash_retries=self.pool_crash_retries,
+                registry=self._registry,
             )
             self._pool_version = version
             self._pool_context = worker_context
@@ -815,19 +941,37 @@ class ReverseKRanksEngine:
     ) -> List[QueryResult]:
         from repro.parallel import ShardPlanner
 
-        pool = self._ensure_pool(workers, worker_context)
-        planner = ShardPlanner(pool.num_workers, policy=shard_policy)
-        plan = planner.plan(
-            batch,
-            graph=self.compact_graph(),
-            index=self._index if kind is AlgorithmKind.INDEXED else None,
-        )
-        try:
-            outcome = pool.run_batch(
-                plan, k, kind, bounds=bounds, stats_mode=stats_mode,
-                timeout=batch_timeout,
-                crash_retries=self.pool_crash_retries,
+        tracer = self.tracer
+        with tracer.span("engine.pool_ensure", workers=workers):
+            pool = self._ensure_pool(workers, worker_context)
+        with tracer.span("engine.plan", policy=shard_policy) as plan_span:
+            planner = ShardPlanner(pool.num_workers, policy=shard_policy)
+            plan = planner.plan(
+                batch,
+                graph=self.compact_graph(),
+                index=self._index if kind is AlgorithmKind.INDEXED else None,
             )
+            skew = plan.skew()
+            plan_span.set(policy=plan.policy.value, skew=skew)
+        policy = plan.policy.value
+        self._m_shard_plans.labels(policy=policy).inc()
+        self._m_shard_skew.labels(policy=policy).observe(skew)
+        try:
+            with tracer.span(
+                "engine.pool_dispatch",
+                shards=len(plan.non_empty()), policy=policy,
+            ) as dispatch_span:
+                outcome = pool.run_batch(
+                    plan, k, kind, bounds=bounds, stats_mode=stats_mode,
+                    timeout=batch_timeout,
+                    crash_retries=self.pool_crash_retries,
+                    trace_id=tracer.trace_id if tracer.enabled else None,
+                )
+                # Worker-side span trees (durations + worker-local
+                # offsets) stitch under this dispatch span — one tree
+                # per batch, one trace id across the IPC boundary.
+                tracer.attach(outcome.worker_traces)
+                dispatch_span.set(ipc_bytes=outcome.ipc_bytes)
         except (WorkerCrashError, WorkerTimeoutError):
             # The pool exhausted its in-place healing (or blew the batch
             # deadline); drop it so a caller's retry gets a fresh pool
@@ -837,8 +981,9 @@ class ReverseKRanksEngine:
         if kind is AlgorithmKind.INDEXED and self._index is not None:
             # Deltas arrive in shard order (see merge_shard_outputs), so
             # the last-writer-wins merge is deterministic run to run.
-            for delta in outcome.deltas:
-                self._index.merge_delta(delta)
+            with tracer.span("engine.merge_deltas", deltas=len(outcome.deltas)):
+                for delta in outcome.deltas:
+                    self._index.merge_delta(delta)
         # "none" means never collected — mark it unavailable rather than
         # presenting a zeroed QueryStats as if the batch did no work.
         self.last_batch_stats = (

@@ -43,6 +43,7 @@ class ShardOutput:
     results: Union[Sequence[QueryResult], ShardResultBlock]
     delta: Optional[object] = None  # a HubIndexDelta when learning was logged
     queries: Optional[Tuple] = None  # plan-side query nodes (encoded shards)
+    trace: Optional[dict] = None  # worker-side span tree (traced batches)
 
 
 @dataclass
@@ -63,6 +64,9 @@ class ParallelBatchResult:
     #: Flat payload bytes that crossed the process boundary (codec-reported;
     #: 0 when every shard arrived as plain objects).
     ipc_bytes: int = 0
+    #: Worker-side span trees in shard order (empty unless the batch was
+    #: traced); the engine grafts them under its dispatch span.
+    worker_traces: List[dict] = field(default_factory=list)
 
 
 def merge_shard_outputs(
@@ -154,10 +158,12 @@ def merge_shard_outputs(
             f"(first missing: {missing[:5]})"
         )
     deltas = [output.delta for output in ordered if output.delta is not None]
+    traces = [output.trace for output in ordered if output.trace is not None]
     return ParallelBatchResult(
         results=slots,
         stats=None if stats_dropped else stats,
         deltas=deltas,
         shards=len(ordered),
         ipc_bytes=ipc_bytes,
+        worker_traces=traces,
     )

@@ -109,6 +109,22 @@ class ShardPlan:
         """The shards that actually carry work."""
         return [shard for shard in self.shards if shard.queries]
 
+    def skew(self) -> float:
+        """Largest shard size over the ideal even share (>= 1.0).
+
+        ``1.0`` is a perfectly balanced plan; ``2.0`` means the busiest
+        worker got twice its fair share of queries, so (cost estimates
+        aside) the batch's critical path is ~2x the balanced one.  The
+        engine observes this per plan into the
+        ``repro_shard_skew_ratio{policy=...}`` histogram, the raw
+        material for the ROADMAP's policy-picking cost model.
+        """
+        total = self.num_queries
+        if total == 0 or self.num_shards <= 0:
+            return 1.0
+        ideal = total / self.num_shards
+        return max(len(shard) for shard in self.shards) / ideal
+
 
 class ShardPlanner:
     """Deterministically assigns a query batch to worker slots.

@@ -95,6 +95,7 @@ from repro.errors import (
     is_positive_int,
 )
 from repro.graph.shm import share_compact_graph
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, get_registry
 from repro.parallel.merge import ParallelBatchResult, ShardOutput, merge_shard_outputs
 from repro.parallel.planner import ShardPlan, chunk_evenly
 from repro.parallel.worker import build_init_payload, worker_main
@@ -202,6 +203,7 @@ class WorkerPool:
         respawn_timeout: float = 10.0,
         share_graph: Optional[bool] = None,
         crash_retries: int = 2,
+        registry=None,
     ) -> None:
         # Attributes close() touches come first: a constructor failure at
         # any later point must leave close() safe to run.
@@ -252,6 +254,43 @@ class WorkerPool:
         self._crash_count = 0
         self._respawn_count = 0
         self._timeout_count = 0
+        # Metrics land in the injected registry (the engine shares its own
+        # so pool counters survive pool rebuilds) or the process-global
+        # default for standalone pools.  Event-time increments here are
+        # the single source of truth for crash/respawn/timeout totals.
+        self._registry = registry if registry is not None else get_registry()
+        metrics = self._registry
+        self._m_crashes = metrics.counter(
+            "repro_worker_crashes_total",
+            "Worker processes that died mid-batch or failed to respawn.",
+        )
+        self._m_respawns = metrics.counter(
+            "repro_worker_respawns_total",
+            "Worker processes respawned in place after a crash or stall.",
+        )
+        self._m_timeouts = metrics.counter(
+            "repro_worker_timeouts_total",
+            "Batches that blew their deadline and had stuck workers killed.",
+        )
+        self._m_batches = metrics.counter(
+            "repro_pool_batches_total",
+            "Parallel batches the pool completed successfully.",
+        )
+        self._m_batch_seconds = metrics.histogram(
+            "repro_pool_batch_seconds",
+            "Wall-clock seconds per pool batch (dispatch to merge), by "
+            "shard policy.",
+            labels=("policy",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        ipc = metrics.counter(
+            "repro_ipc_bytes_total",
+            "Bytes crossing the worker IPC boundary, by direction "
+            "(startup init payloads vs codec-encoded shard results).",
+            labels=("direction",),
+        )
+        self._m_ipc_startup = ipc.labels(direction="startup")
+        self._m_ipc_result = ipc.labels(direction="result")
         try:
             if share_graph is not False:
                 try:
@@ -276,6 +315,7 @@ class WorkerPool:
                 ),
             )
             self._startup_payload_bytes = len(init_bytes)
+            self._m_ipc_startup.inc(len(init_bytes) * workers)
             # One result queue PER worker: crash isolation (see the
             # module docstring) — a SIGKILLed worker can only poison its
             # own channel, which _respawn discards with the slot.
@@ -396,6 +436,7 @@ class WorkerPool:
         stats_mode: str = "per-query",
         timeout: Optional[float] = None,
         crash_retries: Optional[int] = None,
+        trace_id: Optional[str] = None,
     ) -> ParallelBatchResult:
         """Execute one planned batch across the workers, healing crashes.
 
@@ -418,6 +459,13 @@ class WorkerPool:
         ``crash_retries`` caps how many worker deaths this batch absorbs
         (respawn + re-dispatch) before failing; ``None`` uses the pool's
         construction-time default.
+
+        ``trace_id`` (propagated in every task tuple) asks the workers to
+        record their own span trees for this batch under that id; the
+        finished trees come back in the result payloads and are returned
+        on :attr:`ParallelBatchResult.worker_traces` in shard order.
+        ``None`` — the default — keeps the worker-side hot path
+        allocation-free.
 
         Raises
         ------
@@ -447,6 +495,7 @@ class WorkerPool:
         shards = plan.non_empty()
         shard_by_index = {shard.index: shard for shard in shards}
         deadline = None if timeout is None else time.monotonic() + timeout
+        batch_started = time.perf_counter()
 
         def dispatch(shard) -> None:
             self._task_queues[shard.index % self._num_workers].put(
@@ -461,6 +510,7 @@ class WorkerPool:
                     bounds,
                     bool(collect_deltas),
                     stats_mode,
+                    trace_id,
                 )
             )
 
@@ -483,6 +533,7 @@ class WorkerPool:
                 )
             except WorkerCrashError as exc:
                 self._crash_count += 1
+                self._m_crashes.inc()
                 crashes += 1
                 # The casualty's unanswered shards: assigned to it and not
                 # back yet (a result it flushed before dying already left
@@ -518,6 +569,7 @@ class WorkerPool:
                 continue
             except _DeadlineExceeded:
                 self._timeout_count += 1
+                self._m_timeouts.inc()
                 stuck = sorted(
                     {
                         shard_index % self._num_workers
@@ -554,7 +606,7 @@ class WorkerPool:
                     f"worker {worker_id} failed while evaluating its shard:\n"
                     f"{payload}"
                 )
-            shard_index, positions, results, delta = payload
+            shard_index, positions, results, delta, worker_trace = payload
             if shard_index not in outstanding:
                 continue  # defensive: duplicate delivery
             outstanding.discard(shard_index)
@@ -567,11 +619,19 @@ class WorkerPool:
                     # Decode against the parent's plan, not worker-reported
                     # identifiers.
                     queries=shard_by_index[shard_index].queries,
+                    trace=worker_trace,
                 )
             )
-        return merge_shard_outputs(
+        merged = merge_shard_outputs(
             outputs, batch_size=plan.num_queries, csr=self._graph
         )
+        self._m_batches.inc()
+        self._m_batch_seconds.labels(policy=plan.policy.value).observe(
+            time.perf_counter() - batch_started
+        )
+        if merged.ipc_bytes:
+            self._m_ipc_result.inc(merged.ipc_bytes)
+        return merged
 
     def update_index(self, index_state: Dict[str, object]) -> None:
         """Broadcast a fresh hub-index snapshot to every worker (blocking).
@@ -769,12 +829,15 @@ class WorkerPool:
         self._generations[worker_id] += 1
         self._task_queues[worker_id] = self._ctx.Queue()
         self._result_queues[worker_id] = self._ctx.Queue()
+        init_bytes = self._current_init_bytes()
+        self._m_ipc_startup.inc(len(init_bytes))
         with _child_spawn_env():
             self._processes[worker_id] = self._spawn_process(
-                worker_id, self._current_init_bytes()
+                worker_id, init_bytes
             )
         self._await_worker_ready(worker_id)
         self._respawn_count += 1
+        self._m_respawns.inc()
 
     def _await_worker_ready(self, worker_id: int) -> None:
         """Block until the respawned ``worker_id`` reports ready.

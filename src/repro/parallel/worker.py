@@ -39,18 +39,20 @@ Message protocol (all tuples, queue-pickled)
 --------------------------------------------
 * parent -> worker: tagged tuples —
   ``("query", job_id, shard_index, positions, queries, k,
-  algorithm_value, bounds, collect_delta, stats_mode)`` for a query
-  shard, ``("hubs", job_id, hubs, explore_limit, capacity)`` for a
-  hub-index build shard, ``("index", job_id, index_state)`` to adopt a
-  fresher hub-index snapshot (acknowledged with a bare ``"done"``), or
-  ``None`` to shut down.
+  algorithm_value, bounds, collect_delta, stats_mode, trace_id)`` for a
+  query shard (``trace_id`` is ``None`` unless the parent batch is being
+  traced — see :mod:`repro.obs.trace`), ``("hubs", job_id, hubs,
+  explore_limit, capacity)`` for a hub-index build shard, ``("index",
+  job_id, index_state)`` to adopt a fresher hub-index snapshot
+  (acknowledged with a bare ``"done"``), or ``None`` to shut down.
 * worker -> parent: ``(kind, worker_id, job_id, payload)`` where ``kind``
   is ``"ready"`` (startup complete), ``"done"`` (payload is
-  ``(shard_index, positions, block, delta)`` for a query shard —
+  ``(shard_index, positions, block, delta, trace)`` for a query shard —
   ``shard_index`` echoed from the task so the parent can attribute and
   re-dispatch shards without assuming arrival order, ``block`` a flat
   :class:`~repro.parallel.codec.ShardResultBlock`; see
-  :mod:`repro.parallel.codec` for the wire format — or a bare
+  :mod:`repro.parallel.codec` for the wire format; ``trace`` the
+  worker-side span tree (a plain dict) or ``None`` — or a bare
   :class:`~repro.core.hub_index.HubIndexDelta` for a hub shard) or
   ``"error"`` (payload is a formatted remote traceback string).
 
@@ -153,35 +155,54 @@ class _WorkerState:
 
     def run_shard(
         self, shard_index, positions, queries, k, algorithm, bounds,
-        collect_delta, stats_mode="per-query",
+        collect_delta, stats_mode="per-query", trace_id=None,
     ):
-        """Evaluate one query shard; returns ``(shard_index, positions, block, delta)``.
+        """Evaluate one query shard; returns ``(shard_index, positions, block, delta, trace)``.
 
         ``block`` is the shard's results packed into flat array buffers
         by :class:`~repro.parallel.codec.ShardResultCodec` under
         ``stats_mode`` — the worker's engine *is* the CSR compilation, so
         entry nodes leave as integer indexes, never pickled identifiers.
+
+        ``trace_id`` (non-``None`` only for traced parent batches)
+        enables the worker engine's tracer for exactly this shard: the
+        shard runs under a ``worker.shard`` root span carrying the
+        parent's trace id, the engine's own spans nest inside it, and the
+        finished tree travels back as ``trace`` — durations and
+        worker-local offsets only, because ``perf_counter`` epochs are
+        not comparable across processes.  Untraced shards pay a single
+        attribute check and allocate no span objects.
         """
         from repro.parallel.codec import ShardResultCodec
 
-        index = self.engine.index
-        if collect_delta and index is not None:
-            index.start_learning_log()
-        try:
-            results = self.engine.query_many(
-                list(queries), k, algorithm=algorithm, bounds=bounds,
-                use_csr=False,
-            )
-        finally:
-            delta = (
-                index.pop_learning_log()
-                if collect_delta and index is not None
-                else None
-            )
-        block = ShardResultCodec.encode(
-            results, self.engine.graph, stats_mode=stats_mode
-        )
-        return shard_index, tuple(positions), block, delta
+        tracer = self.engine.tracer
+        tracer.enabled = trace_id is not None
+        with tracer.trace(
+            "worker.shard",
+            trace_id=trace_id,
+            shard=shard_index,
+            queries=len(queries),
+        ):
+            index = self.engine.index
+            if collect_delta and index is not None:
+                index.start_learning_log()
+            try:
+                results = self.engine.query_many(
+                    list(queries), k, algorithm=algorithm, bounds=bounds,
+                    use_csr=False,
+                )
+            finally:
+                delta = (
+                    index.pop_learning_log()
+                    if collect_delta and index is not None
+                    else None
+                )
+            with tracer.span("worker.encode", stats_mode=stats_mode):
+                block = ShardResultCodec.encode(
+                    results, self.engine.graph, stats_mode=stats_mode
+                )
+        trace = tracer.last_trace["root"] if trace_id is not None else None
+        return shard_index, tuple(positions), block, delta, trace
 
     def update_index(self, index_state) -> None:
         """Replace the engine's hub-index snapshot with a fresher one.
@@ -281,11 +302,11 @@ def worker_main(
                 if tag == "query":
                     (
                         shard_index, positions, queries, k, algorithm, bounds,
-                        collect_delta, stats_mode,
+                        collect_delta, stats_mode, trace_id,
                     ) = task[2:]
                     payload = state.run_shard(
                         shard_index, positions, queries, k, algorithm, bounds,
-                        collect_delta, stats_mode,
+                        collect_delta, stats_mode, trace_id,
                     )
                 elif tag == "hubs":
                     hubs, explore_limit, capacity = task[2:]

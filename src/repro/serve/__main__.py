@@ -15,6 +15,11 @@ smoke jobs wait for that line — then serves until SIGTERM/SIGINT or a
 client ``shutdown`` op, both of which shut down gracefully (final
 journal compaction included).
 
+With ``--metrics-port`` the process additionally prints one
+``METRICS <host>:<port>`` line and serves the shared metrics registry as
+Prometheus text over plain HTTP at ``/metrics`` on that port;
+``--trace`` turns batch tracing on from boot (see :mod:`repro.obs`).
+
 With ``--state-dir`` the learned index is durable: the first boot builds
 it and snapshots it there; every later boot replays snapshot + journal
 and resumes exactly as warm as the previous process stopped — even after
@@ -29,9 +34,44 @@ import signal
 import sys
 from typing import List, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.bootstrap import parse_fixture, prepare_engine
 from repro.serve.journal import DurableIndexStore
 from repro.serve.server import QueryServer, ServeConfig
+
+
+def _start_metrics_endpoint(registry: MetricsRegistry, host: str, port: int):
+    """Serve ``registry.render()`` over plain HTTP on a daemon thread.
+
+    Returns the bound ``(host, port)``.  Stdlib-only on purpose — any
+    Prometheus scraper (or ``curl``) can hit ``/metrics`` without the
+    framed-JSON client; the endpoint is read-only and shares the exact
+    registry the query server writes, so both views always agree.
+    """
+    import threading
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class _MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+            if self.path not in ("/", "/metrics"):
+                self.send_error(404)
+                return
+            body = registry.render().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # scrapes are periodic; don't spam the server's stderr
+
+    httpd = ThreadingHTTPServer((host, port), _MetricsHandler)
+    httpd.daemon_threads = True
+    threading.Thread(
+        target=httpd.serve_forever, name="repro-metrics-http", daemon=True
+    ).start()
+    return httpd.server_address[:2]
 
 
 def _int_or_auto(value: str):
@@ -106,6 +146,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=4 * 1024 * 1024,
         help="journal size that triggers snapshot compaction",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose Prometheus text metrics over plain HTTP on this "
+        "port (0 picks a free one); prints a METRICS line after READY",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable batch tracing from boot (clients can also toggle "
+        "it at runtime via the 'trace' op)",
+    )
     args = parser.parse_args(argv)
 
     if args.fixture:
@@ -115,8 +169,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         workload = dataset_workload(args.dataset)
 
+    # One registry spans the whole process — store (journal metrics),
+    # engine (dispatch + pool metrics) and server (batcher metrics) — so
+    # a single scrape, via the `metrics` op or --metrics-port, sees all
+    # of them.
+    registry = MetricsRegistry()
     store = (
-        DurableIndexStore(args.state_dir, compact_bytes=args.compact_bytes)
+        DurableIndexStore(
+            args.state_dir,
+            compact_bytes=args.compact_bytes,
+            registry=registry,
+        )
         if args.state_dir
         else None
     )
@@ -128,7 +191,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         capacity=args.capacity,
         workers=args.workers,
         worker_context=args.worker_context,
+        registry=registry,
     )
+    if args.trace:
+        engine.tracer.enabled = True
     if store is not None:
         origin = "restored from" if restored else "installed into"
         print(
@@ -156,6 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         host=args.host,
         port=args.port,
         unix_path=args.unix,
+        registry=registry,
     )
 
     def handle_signal(signum, frame):  # noqa: ARG001 - signal signature
@@ -171,6 +238,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             host, port = server.address
             endpoint = f"{host}:{port}"
         print(f"READY {endpoint} pid={os.getpid()}", flush=True)
+        if args.metrics_port is not None:
+            metrics_host, metrics_port = _start_metrics_endpoint(
+                registry, args.host, args.metrics_port
+            )
+            print(f"METRICS {metrics_host}:{metrics_port}", flush=True)
         server.serve_forever()
     return 0
 

@@ -88,6 +88,7 @@ def prepare_engine(
     capacity: int = 16,
     workers: int = 1,
     worker_context: Optional[str] = None,
+    registry=None,
 ) -> Tuple[ReverseKRanksEngine, bool]:
     """Engine around ``workload.graph`` with a warm, optionally durable index.
 
@@ -97,10 +98,17 @@ def prepare_engine(
     base snapshot.  Without a store the index is simply built in
     process.
 
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) is
+    forwarded to the engine so a caller can collect engine, pool and
+    journal metrics in one scrape; ``None`` keeps the engine's default
+    private registry.
+
     Returns ``(engine, restored)`` where ``restored`` says whether the
     index came from the store rather than a fresh build.
     """
-    engine = ReverseKRanksEngine(workload.graph, partition=workload.partition)
+    engine = ReverseKRanksEngine(
+        workload.graph, partition=workload.partition, registry=registry
+    )
     if workload.partition is not None:
         if store is not None:
             raise ServeError(

@@ -207,6 +207,23 @@ class ServeClient:
         """Pool liveness, degraded mode, and crash/respawn/journal counters."""
         return self._call({"op": "health"})
 
+    def metrics(self) -> str:
+        """The server's metrics registry in Prometheus text exposition."""
+        return self._call({"op": "metrics"})["metrics"]
+
+    def trace(self, enable: Optional[bool] = None) -> dict:
+        """Read (and optionally toggle) batch tracing on the server.
+
+        Returns ``{"enabled": bool, "trace": <last batch span tree or
+        None>}``; pass ``enable=True``/``False`` to flip tracing for all
+        subsequent batches first.
+        """
+        message = {"op": "trace"}
+        if enable is not None:
+            message["enable"] = bool(enable)
+        response = self._call(message)
+        return {"enabled": response["enabled"], "trace": response["trace"]}
+
     def shutdown(self) -> None:
         """Ask the server to stop gracefully (acknowledged before it does)."""
         self._call({"op": "shutdown"})

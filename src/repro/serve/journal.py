@@ -44,6 +44,7 @@ import os
 import pickle
 import struct
 import tempfile
+import time
 import zlib
 from pathlib import Path
 from typing import List, Optional, Tuple
@@ -51,6 +52,7 @@ from typing import List, Optional, Tuple
 from repro import faults
 from repro.core.hub_index import HubIndex, HubIndexDelta
 from repro.errors import JournalCorruptionError
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, get_registry
 
 __all__ = ["DeltaJournal", "DurableIndexStore"]
 
@@ -102,11 +104,31 @@ class DeltaJournal:
     corruption, not tampering).
     """
 
-    def __init__(self, path, sync: bool = True) -> None:
+    def __init__(self, path, sync: bool = True, registry=None) -> None:
         self.path = Path(path)
         self._sync = sync
         self._entries: List[Tuple[int, HubIndexDelta]] = []
         self._last_seq = 0
+        # Injected by the serve layer (one shared scrape) or the
+        # process-global default for standalone journals.
+        metrics = registry if registry is not None else get_registry()
+        self._m_appends = metrics.counter(
+            "repro_journal_appends_total",
+            "Journal records appended successfully.",
+        )
+        self._m_append_failures = metrics.counter(
+            "repro_journal_append_failures_total",
+            "Journal appends rolled back after a write/flush/fsync failure.",
+        )
+        self._m_append_bytes = metrics.counter(
+            "repro_journal_append_bytes_total",
+            "Frame + payload bytes appended to the journal.",
+        )
+        self._m_fsync_seconds = metrics.histogram(
+            "repro_journal_fsync_seconds",
+            "Seconds spent in the journal append's durability fsync.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
         created = not self.path.exists() or self.path.stat().st_size == 0
         # "a+" then reopen: create the file if missing without clobbering
         # an existing one, then take the real read/write handle.
@@ -248,8 +270,13 @@ class DeltaJournal:
             self._handle.flush()
             faults.fire("journal.fsync")
             if self._sync if sync is None else sync:
+                fsync_started = time.perf_counter()
                 os.fsync(self._handle.fileno())
+                self._m_fsync_seconds.observe(
+                    time.perf_counter() - fsync_started
+                )
         except BaseException:
+            self._m_append_failures.inc()
             # Roll the file back so the failed record cannot linger as a
             # valid-looking frame the caller believes was never written.
             try:
@@ -260,6 +287,8 @@ class DeltaJournal:
             raise
         self._entries.append((seq, delta))
         self._last_seq = seq
+        self._m_appends.inc()
+        self._m_append_bytes.inc(_FRAME.size + len(payload))
         return self._handle.tell()
 
     def reset(self) -> None:
@@ -349,17 +378,35 @@ class DurableIndexStore:
         directory,
         compact_bytes: int = 4 * 1024 * 1024,
         sync: bool = True,
+        registry=None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.snapshot_path = self.directory / self.SNAPSHOT_NAME
         self.journal_path = self.directory / self.JOURNAL_NAME
         self.compact_bytes = compact_bytes
-        self._journal = DeltaJournal(self.journal_path, sync=sync)
+        metrics = registry if registry is not None else get_registry()
+        self._journal = DeltaJournal(
+            self.journal_path, sync=sync, registry=metrics
+        )
         self._base_seq = 0
         self._next_seq = self._journal.last_seq + 1
         #: Compactions performed over this store's lifetime (stats).
         self.compactions = 0
+        self._m_compactions = metrics.counter(
+            "repro_journal_compactions_total",
+            "Journal-into-snapshot compactions performed.",
+        )
+        self._m_compaction_seconds = metrics.histogram(
+            "repro_journal_compaction_seconds",
+            "Seconds per compaction (snapshot save + journal reset).",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._m_journal_size = metrics.gauge(
+            "repro_journal_size_bytes",
+            "Current journal file size (the compaction trigger input).",
+        )
+        self._m_journal_size.set(self._journal.size_bytes)
 
     # ------------------------------------------------------------------
     @property
@@ -433,6 +480,7 @@ class DurableIndexStore:
         seq = self._next_seq
         self._journal.append(seq, delta, sync=sync)
         self._next_seq = seq + 1
+        self._m_journal_size.set(self._journal.size_bytes)
         return seq
 
     def maybe_compact(self, index: HubIndex) -> bool:
@@ -449,12 +497,16 @@ class DurableIndexStore:
         sequence number stored *inside* the snapshot makes the pair
         crash-safe — see the module docstring.
         """
+        started = time.perf_counter()
         folded = self.last_seq
         index.save(self.snapshot_path, meta={self.META_SEQ: folded})
         _fsync_directory(self.directory)
         self._journal.reset()
         self._base_seq = folded
         self.compactions += 1
+        self._m_compactions.inc()
+        self._m_compaction_seconds.observe(time.perf_counter() - started)
+        self._m_journal_size.set(self._journal.size_bytes)
 
     def close(self) -> None:
         """Close the journal handle.  Idempotent."""

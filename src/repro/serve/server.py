@@ -41,6 +41,14 @@ are objects with an ``"op"`` key —
     → ``{"ok": true, "pong": true}`` (liveness; never queued).
 ``{"op": "info"}`` / ``{"op": "stats"}``
     → static configuration / live counters, respectively.
+``{"op": "metrics"}``
+    → ``{"ok": true, "metrics": "<Prometheus text exposition>"}`` — the
+    server's full :class:`~repro.obs.metrics.MetricsRegistry` render
+    (engine + pool + batcher, plus journal when the CLI shared one
+    registry across all three).
+``{"op": "trace", "enable": true|false}``
+    → toggles batch tracing on the serving engine (``enable`` optional)
+    and returns the last finished batch's span tree, if any.
 ``{"op": "shutdown"}``
     → acknowledges, then stops the server gracefully.
 """
@@ -172,6 +180,7 @@ class _Batcher:
         engine: ReverseKRanksEngine,
         config: ServeConfig,
         store: Optional[DurableIndexStore],
+        registry=None,
     ) -> None:
         self._engine = engine
         self._config = config
@@ -188,18 +197,73 @@ class _Batcher:
         # arrivals during idle, not a mandatory delay at saturation).
         self._hot = False
         self._idle = threading.Condition(self._lock)
-        # Counters (read under the lock by the stats op).
-        self.batches = 0
-        self.queries = 0
-        self.requests = 0
-        self.overloads = 0
-        #: Batches whose journal write/fsync failed — their responses
-        #: were withheld (failed loudly) to preserve the durability
-        #: contract.
-        self.journal_failures = 0
+        # Counters live in the metrics registry (shared with the engine
+        # unless a dedicated one is injected); the legacy attribute names
+        # (`batcher.batches` etc.) are properties over the same samples,
+        # keeping the stats/health op payloads byte-compatible with one
+        # source of truth.
+        metrics = registry if registry is not None else engine.registry
+        self._m_batches = metrics.counter(
+            "repro_serve_batches_total",
+            "Coalesced batches the serve batcher executed.",
+        )
+        self._m_queries = metrics.counter(
+            "repro_serve_queries_total",
+            "Queries answered through the serve batcher.",
+        )
+        self._m_requests = metrics.counter(
+            "repro_serve_requests_total",
+            "Query requests admitted by the batcher.",
+        )
+        self._m_overloads = metrics.counter(
+            "repro_serve_overloads_total",
+            "Requests refused by admission control (max_pending exceeded).",
+        )
+        self._m_journal_failures = metrics.counter(
+            "repro_serve_journal_failures_total",
+            "Batches whose journal write failed (responses withheld).",
+        )
+        flushes = metrics.counter(
+            "repro_serve_flushes_total",
+            "Batch flushes by trigger: max_batch reached (full), engine "
+            "just freed up (hot), or the latency window elapsed (window).",
+            labels=("cause",),
+        )
+        self._m_flush_full = flushes.labels(cause="full")
+        self._m_flush_hot = flushes.labels(cause="hot")
+        self._m_flush_window = flushes.labels(cause="window")
+        self._m_batch_occupancy = metrics.histogram(
+            "repro_serve_batch_queries",
+            "Queries drained per flushed batch (window occupancy).",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        )
         self._thread = threading.Thread(
             target=self._run, name="repro-serve-batcher", daemon=True
         )
+
+    # -- legacy counter views (stats/health ops, tests) -----------------
+    @property
+    def batches(self) -> int:
+        return int(self._m_batches.value)
+
+    @property
+    def queries(self) -> int:
+        return int(self._m_queries.value)
+
+    @property
+    def requests(self) -> int:
+        return int(self._m_requests.value)
+
+    @property
+    def overloads(self) -> int:
+        return int(self._m_overloads.value)
+
+    @property
+    def journal_failures(self) -> int:
+        """Batches whose journal write/fsync failed — their responses
+        were withheld (failed loudly) to preserve the durability
+        contract."""
+        return int(self._m_journal_failures.value)
 
     def start(self) -> None:
         self._thread.start()
@@ -215,11 +279,11 @@ class _Batcher:
                 self._pending_queries + len(request.queries)
                 > self._config.max_pending
             ):
-                self.overloads += 1
+                self._m_overloads.inc()
                 return False
             self._pending.append(request)
             self._pending_queries += len(request.queries)
-            self.requests += 1
+            self._m_requests.inc()
             if self._oldest_arrival is None:
                 self._oldest_arrival = time.monotonic()
             self._lock.notify_all()
@@ -294,6 +358,14 @@ class _Batcher:
                     elapsed = time.monotonic() - self._oldest_arrival
                     full = self._pending_queries >= self._config.max_batch
                     if full or self._hot or elapsed >= window:
+                        # Attribute the flush to its trigger, in the same
+                        # precedence the condition fires.
+                        if full:
+                            self._m_flush_full.inc()
+                        elif self._hot:
+                            self._m_flush_hot.inc()
+                        else:
+                            self._m_flush_window.inc()
                         # Drain at most max_batch queries: the limit caps
                         # the engine call (bounded batch latency), not
                         # just the flush trigger — a backlog is worked
@@ -313,6 +385,7 @@ class _Batcher:
                             taken += size
                         if not self._pending:
                             self._oldest_arrival = None
+                        self._m_batch_occupancy.observe(taken)
                         # _pending_queries intentionally left counting the
                         # batch until execution finishes (see _run).
                         return batch
@@ -380,8 +453,7 @@ class _Batcher:
                     self._store.record(delta)
                     self._store.maybe_compact(index)
                 except BaseException as exc:  # noqa: BLE001 - forwarded per request
-                    with self._lock:
-                        self.journal_failures += 1
+                    self._m_journal_failures.inc()
                     for request in requests:
                         request.fail(exc)
                     continue
@@ -389,9 +461,8 @@ class _Batcher:
             for request in requests:
                 request.succeed(results[offset:offset + len(request.queries)])
                 offset += len(request.queries)
-            with self._lock:
-                self.batches += 1
-                self.queries += len(queries)
+            self._m_batches.inc()
+            self._m_queries.inc(len(queries))
 
 
 class QueryServer:
@@ -419,6 +490,7 @@ class QueryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         unix_path: Optional[str] = None,
+        registry=None,
     ) -> None:
         self._engine = engine
         self._config = config or ServeConfig()
@@ -426,7 +498,11 @@ class QueryServer:
         self._host = host
         self._port = port
         self._unix_path = unix_path
-        self._batcher = _Batcher(engine, self._config, store)
+        # One registry per server: defaults to the engine's so a single
+        # `metrics` scrape covers batcher + engine + pool (+ journal,
+        # when the CLI wired the store to the same registry).
+        self.registry = registry if registry is not None else engine.registry
+        self._batcher = _Batcher(engine, self._config, store, self.registry)
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._connections: Dict[int, socket.socket] = {}
@@ -619,9 +695,39 @@ class QueryServer:
             return self._op_stats(), False
         if op == "health":
             return self._op_health(), False
+        if op == "metrics":
+            return (
+                {
+                    "ok": True,
+                    "content_type": "text/plain; version=0.0.4",
+                    "metrics": self.registry.render(),
+                },
+                False,
+            )
+        if op == "trace":
+            return self._op_trace(message), False
         if op == "shutdown":
             return {"ok": True, "stopping": True}, True
         return {"ok": False, "error": f"unknown op {op!r}"}, False
+
+    def _op_trace(self, message: dict) -> dict:
+        """Toggle and/or read batch tracing on the serving engine.
+
+        An optional boolean ``enable`` flips the engine tracer; either
+        way the reply carries the current setting plus the most recent
+        finished batch trace (``None`` until a traced batch completes).
+        """
+        tracer = self._engine.tracer
+        enable = message.get("enable")
+        if enable is not None:
+            if not isinstance(enable, bool):
+                return {"ok": False, "error": "'enable' must be a boolean"}
+            tracer.enabled = enable
+        return {
+            "ok": True,
+            "enabled": tracer.enabled,
+            "trace": self._engine.last_trace,
+        }
 
     def _op_query(self, message: dict) -> dict:
         config = self._config
