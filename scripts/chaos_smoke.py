@@ -137,6 +137,88 @@ def drive_load(
     return sent[0], mismatches, failures, max_elapsed[0]
 
 
+def run_update_crash_phase(seed, summary, problems):
+    """Phase 4: a worker dies holding the graph-sync broadcast.
+
+    ``engine.apply_updates`` ships each mutation batch to the live pool
+    as an overlay side-table + repaired-index broadcast.  With a crash
+    armed on every second worker task, the pool dies exactly when that
+    broadcast arrives; the engine must degrade (drop the pool, report
+    ``pool_synced=False``) without surfacing an error, keep answering
+    bit-identically to a from-scratch engine over an identically-mutated
+    shadow graph, and — once the chaos is cleared — sync the next update
+    into a fresh pool in place.
+    """
+    workload = parse_fixture("gnp:60:13")
+    graph = workload.graph
+    shadow = graph.copy()
+    engine = ReverseKRanksEngine(graph)
+    engine.build_index(num_hubs=3, capacity=8)
+    engine.parallel_min_batch = 1
+    queries = sorted(graph.nodes())[:10]
+    phase = {"mismatches": 0, "degrades": 0, "in_place_syncs": 0}
+
+    def verify():
+        reference = ReverseKRanksEngine(shadow)
+        reference.compact_graph()
+        expected = reference.query_many(queries, 6, algorithm="dynamic")
+        actual = engine.query_many(queries, 6, algorithm="dynamic")
+        for want, got in zip(expected, actual):
+            if want.as_pairs() != got.as_pairs():
+                phase["mismatches"] += 1
+
+    try:
+        with engine:
+            # Armed before the pool forks: task 1 per worker is the warm
+            # query shard, the graph broadcast is task 2.
+            faults.configure("worker.before_task=crash#2", seed=seed)
+            engine.query_many(
+                queries, 6, algorithm="dynamic",
+                workers=2, worker_context="fork",
+            )
+            edges = sorted(graph.edges())
+            report = engine.apply_updates(
+                [("remove_edge", edges[0][0], edges[0][1])]
+            )
+            shadow.remove_edge(edges[0][0], edges[0][1])
+            if report.pool_synced or engine._pool is not None:
+                problems.append(
+                    "update_crash: broadcast to crashed workers did not "
+                    "degrade the pool"
+                )
+            else:
+                phase["degrades"] += 1
+            faults.clear()
+            verify()
+
+            # Chaos off: fresh pool, and the next update must sync in
+            # place instead of tearing it down.
+            engine.query_many(
+                queries, 6, algorithm="dynamic",
+                workers=2, worker_context="fork",
+            )
+            report = engine.apply_updates(
+                [("add_edge", edges[1][0], edges[2][1], 0.7)]
+            )
+            shadow.add_edge(edges[1][0], edges[2][1], 0.7)
+            if not report.pool_synced:
+                problems.append(
+                    "update_crash: post-recovery update did not sync the "
+                    "live pool in place"
+                )
+            else:
+                phase["in_place_syncs"] += 1
+            verify()
+    finally:
+        faults.clear()
+    if phase["mismatches"]:
+        problems.append(
+            f"update_crash: {phase['mismatches']} responses differed from "
+            "the mutated-shadow reference"
+        )
+    summary["phases"]["update_crash"] = phase
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="python scripts/chaos_smoke.py")
     parser.add_argument("--fixture", default="gnp:120:11")
@@ -255,6 +337,11 @@ def main(argv=None):
             faults.clear()
             server.stop()
             store.close()
+
+    # Phase 4: worker crash during an incremental-update broadcast
+    # (self-contained engine; the server phases above keep their
+    # pre-built reference answers, which mutations would invalidate).
+    run_update_crash_phase(args.seed, summary, problems)
 
     leaked = shm_segments() - shm_before
     if leaked:

@@ -140,6 +140,21 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         ),
     )
     parser.add_argument(
+        "--mutation-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help=(
+            "mixed update/query axis: each timed repetition of the extra "
+            "name@mut rows first applies max(1, round(R * num_queries)) "
+            "seeded graph updates through engine.apply_updates (CSR "
+            "delta-overlay + in-place hub-index repair + live pool sync) "
+            "and then the query batch; the final overlay-path answers are "
+            "validated bit-identically against a from-scratch recompile "
+            "(default: 0, no mutation pass)"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help=(
@@ -256,6 +271,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             stats_mode=args.stats,
             trace=args.trace or args.trace_dir is not None,
             trace_dir=args.trace_dir,
+            mutation_rate=args.mutation_rate,
             progress=progress,
         )
     except (WorkloadError, DatasetError, OSError) as exc:
@@ -284,6 +300,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "worker_context": args.worker_context,
             "stats": args.stats,
             "trace": args.trace or args.trace_dir is not None,
+            "mutation_rate": args.mutation_rate,
             "families": [workload.family for workload in workloads],
         },
     )

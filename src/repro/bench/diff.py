@@ -9,7 +9,8 @@ old vs new timings.  The exit status is non-zero when
   a 1.25x slowdown; use ``--tolerance 1.0`` to fail only above 2x), or
 * any non-skipped algorithm in the *new* report is **not validated**, any
   workload carries ``backend_consistent: false``,
-  ``parallel_consistent: false`` or ``parallel_index_consistent: false``,
+  ``parallel_consistent: false``, ``parallel_index_consistent: false`` or
+  ``mutation_consistent: false``,
   or an algorithm the old
   report validated is *skipped* in the new one — a correctness
   disagreement (or the harness silently ceasing to run a gated
@@ -18,8 +19,13 @@ old vs new timings.  The exit status is non-zero when
   only lack ``validated: true`` when it was generated with
   ``--no-validate``; such timing-only reports deliberately fail this gate.
 
-Workloads or algorithms present in only one report are listed but never
-fail the diff (suites legitimately grow and shrink); wall-clock noise on
+Workloads or algorithms present in only one report are treated as
+*explicit* additions and removals: their rows carry status ``new`` /
+``removed``, :func:`summarize_membership` names every one, and the CLI
+prints them as a dedicated "suite changes" section — but they never fail
+the diff (suites legitimately grow and shrink; a ``--mutation-rate`` run
+diffed against a baseline without ``@mut`` rows is additions, not a
+regression).  Wall-clock noise on
 shared rows is what the tolerance is for.  Only the chosen ``--metric``
 and the correctness flags are ever read from a row — fields one side
 lacks (``trace_summary`` from a ``--trace`` run, future additions) are
@@ -58,7 +64,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.bench.report import _format_seconds
 
-__all__ = ["compare_reports", "render_diff_table", "main"]
+__all__ = [
+    "compare_reports",
+    "render_diff_table",
+    "summarize_membership",
+    "main",
+]
 
 #: Timing metric compared between reports (per whole-batch repetition).
 #: Best-of-repetitions, not the mean: at 1-3 repetitions one scheduler
@@ -136,6 +147,11 @@ def compare_reports(
                     f"{name}: parallel_index_consistent is false in the "
                     "new report"
                 )
+            mutation = new_workloads[name].get("mutation_consistent")
+            if mutation is False:
+                failures.append(
+                    f"{name}: mutation_consistent is false in the new report"
+                )
 
         for algorithm in list(old_algorithms) + [
             a for a in new_algorithms if a not in old_algorithms
@@ -208,6 +224,44 @@ def compare_reports(
                     row["status"] = "ok"
             rows.append(row)
     return rows, failures
+
+
+def summarize_membership(
+    old: Dict[str, object], new: Dict[str, object]
+) -> Dict[str, List[str]]:
+    """Explicit workload/row additions and removals between two reports.
+
+    Returns ``{"added_workloads", "removed_workloads", "added_rows",
+    "removed_rows"}`` — the last two are ``workload/algorithm`` pairs for
+    workloads both reports share (rows a whole added/removed workload
+    brings along are covered by the workload entry, not repeated).  None
+    of these ever fail a diff; they exist so suite growth and shrinkage
+    are reported as deliberate changes instead of hiding inside the
+    per-row table.
+    """
+    old_workloads = _workloads_by_name(old)
+    new_workloads = _workloads_by_name(new)
+    added_rows: List[str] = []
+    removed_rows: List[str] = []
+    for name in sorted(set(old_workloads) & set(new_workloads)):
+        old_algorithms = old_workloads[name].get("algorithms", {})
+        new_algorithms = new_workloads[name].get("algorithms", {})
+        added_rows.extend(
+            f"{name}/{algorithm}"
+            for algorithm in new_algorithms
+            if algorithm not in old_algorithms
+        )
+        removed_rows.extend(
+            f"{name}/{algorithm}"
+            for algorithm in old_algorithms
+            if algorithm not in new_algorithms
+        )
+    return {
+        "added_workloads": sorted(set(new_workloads) - set(old_workloads)),
+        "removed_workloads": sorted(set(old_workloads) - set(new_workloads)),
+        "added_rows": sorted(added_rows),
+        "removed_rows": sorted(removed_rows),
+    }
 
 
 def _format_value(value: Optional[float], metric: str) -> str:
@@ -314,6 +368,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{len({row['workload'] for row in rows})} workloads "
             f"(metric: {args.metric}, tolerance: {args.tolerance:.2f})"
         )
+        membership = summarize_membership(old, new)
+        if any(membership.values()):
+            print("\nsuite changes (never fail the diff):")
+            for label, key in (
+                ("added workloads", "added_workloads"),
+                ("removed workloads", "removed_workloads"),
+                ("added rows", "added_rows"),
+                ("removed rows", "removed_rows"),
+            ):
+                if membership[key]:
+                    print(f"  {label}: {', '.join(membership[key])}")
     if failures:
         print(
             f"\nREGRESSIONS ({len(failures)}):" , file=sys.stderr)

@@ -123,6 +123,14 @@ class AlgorithmTiming:
     #: batch by inclusive time, ``[{"name", "total_s", "count"}, ...]``.
     #: Absent from untraced reports; :mod:`repro.bench.diff` ignores it.
     trace_summary: Optional[List[Dict[str, object]]] = None
+    #: Mutation rows (``name@mut``) only: effective graph updates applied
+    #: during the timed repetitions, and the :mod:`repro.obs` counter
+    #: deltas observed across them — how many full CSR recompactions the
+    #: updates forced (0 = every batch stayed on the delta-overlay) and
+    #: how many in-place pool graph syncs replaced pool teardowns.
+    updates_applied: Optional[int] = None
+    csr_recompactions: Optional[int] = None
+    pool_graph_syncs: Optional[int] = None
 
     @property
     def mean_seconds(self) -> Optional[float]:
@@ -175,6 +183,10 @@ class AlgorithmTiming:
             payload["index_cache"] = self.index_cache
         if self.trace_summary is not None:
             payload["trace_summary"] = self.trace_summary
+        if self.updates_applied is not None:
+            payload["updates_applied"] = self.updates_applied
+            payload["csr_recompactions"] = self.csr_recompactions
+            payload["pool_graph_syncs"] = self.pool_graph_syncs
         return payload
 
 
@@ -193,6 +205,12 @@ class WorkloadResult:
     #: exported state) to the sequentially built one; ``None`` when the
     #: run had no parallel pass, no indexed row, or loaded from cache.
     parallel_index_consistent: Optional[bool] = None
+    #: ``True`` when the mutation pass's final overlay-path answers were
+    #: validated against a from-scratch recompile of the mutated graph
+    #: (bit-identical ranks *and* work counters for the dynamic row);
+    #: ``None`` when no mutation pass ran (``mutation_rate=0`` or a
+    #: bichromatic workload).
+    mutation_consistent: Optional[bool] = None
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready view."""
@@ -203,6 +221,8 @@ class WorkloadResult:
             payload["parallel_consistent"] = self.parallel_consistent
         if self.parallel_index_consistent is not None:
             payload["parallel_index_consistent"] = self.parallel_index_consistent
+        if self.mutation_consistent is not None:
+            payload["mutation_consistent"] = self.mutation_consistent
         payload["algorithms"] = {
             name: timing.as_dict(len(self.workload.queries))
             for name, timing in self.algorithms.items()
@@ -399,6 +419,7 @@ def run_workload(
     stats_mode: str = "per-query",
     trace: bool = False,
     trace_dir: Optional[object] = None,
+    mutation_rate: float = 0.0,
 ) -> WorkloadResult:
     """Time all four algorithms on ``workload``, across the ``workers`` axis.
 
@@ -458,6 +479,21 @@ def run_workload(
         Optional directory (implies ``trace=True``): the full span tree
         of each row's last timed batch is written there as
         ``{workload}-{row}.trace.json``.
+    mutation_rate:
+        When positive, run an additional *mixed update/query* pass on a
+        private copy of the graph: each timed repetition first applies
+        ``max(1, round(mutation_rate * len(queries)))`` seeded graph
+        updates through
+        :meth:`~repro.core.engine.ReverseKRanksEngine.apply_updates`
+        (exercising the CSR delta-overlay and in-place hub-index repair)
+        and then runs the query batch.  Rows are keyed ``name@mut`` (and
+        ``name@mut@wN`` when the ``workers`` axis has a parallel value,
+        proving the worker pool survives updates in place).  After the
+        pass the overlay-path answers are validated bit-identically
+        against a from-scratch recompile of the final mutated graph —
+        the report's ``mutation_consistent`` flag.  Monochromatic
+        workloads only (``apply_updates`` rejects bichromatic engines);
+        requires the CSR backend.
 
     Raises
     ------
@@ -468,6 +504,15 @@ def run_workload(
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
+    if mutation_rate < 0:
+        raise WorkloadError(
+            f"mutation_rate must be >= 0, got {mutation_rate!r}"
+        )
+    if mutation_rate and not use_csr:
+        raise WorkloadError(
+            "the mutation pass benchmarks the CSR delta-overlay; drop "
+            "--no-csr or run with mutation_rate=0"
+        )
     check_stats_mode(stats_mode)
     if trace_dir is not None:
         trace = True
@@ -684,6 +729,13 @@ def run_workload(
     finally:
         engine.close_pool()
 
+    if mutation_rate:
+        _run_mutation_pass(
+            workload, result, mutation_rate,
+            repetitions=repetitions, warmup=warmup, num_hubs=num_hubs,
+            workers_axis=workers_axis, worker_context=worker_context,
+        )
+
     return result
 
 
@@ -789,6 +841,296 @@ def _prepare_index(
         result.parallel_index_consistent = True
 
 
+def _mutation_ops(rng, graph, count: int) -> List[tuple]:
+    """Draw ``count`` effective update ops, shadow-applying them to ``graph``.
+
+    ``graph`` is the pass's *shadow* copy — the mutation pass never touches
+    the engine's own graph outside
+    :meth:`~repro.core.engine.ReverseKRanksEngine.apply_updates`.  Ops stay
+    within the existing node set (node removal forces a recompaction by
+    design, and the steady state this pass measures is the overlay path):
+    edge removals, brand-new edges and weight decreases — increases are
+    no-ops under the graph's min-collapse rule and would only dilute the
+    measured update cost.
+    """
+    ops: List[tuple] = []
+    nodes = sorted(graph.nodes(), key=repr)
+    attempts = 0
+    while len(ops) < count and attempts < count * 25:
+        attempts += 1
+        edges = list(graph.edges())
+        roll = rng.random()
+        if edges and roll < 0.35:
+            source, target, _ = edges[rng.randrange(len(edges))]
+            ops.append(("remove_edge", source, target))
+            graph.remove_edge(source, target)
+        elif edges and roll < 0.6:
+            source, target, weight = edges[rng.randrange(len(edges))]
+            new_weight = round(weight * rng.uniform(0.4, 0.9), 6)
+            if not 0 < new_weight < weight:
+                continue
+            ops.append(("add_edge", source, target, new_weight))
+            graph.add_edge(source, target, new_weight)
+        else:
+            source = nodes[rng.randrange(len(nodes))]
+            target = nodes[rng.randrange(len(nodes))]
+            if source == target or graph.has_edge(source, target):
+                continue
+            weight = round(rng.uniform(1.0, 5.0), 3)
+            ops.append(("add_edge", source, target, weight))
+            graph.add_edge(source, target, weight)
+    return ops
+
+
+def _metric_value(engine: ReverseKRanksEngine, name: str, **labels) -> float:
+    """Current value of a counter in ``engine``'s private metrics registry."""
+    family = engine.registry.get(name)
+    if family is None:
+        return 0.0
+    child = family.labels(**labels) if labels else family
+    return child.value
+
+
+def _run_mutation_pass(
+    workload: Workload,
+    result: WorkloadResult,
+    mutation_rate: float,
+    repetitions: int,
+    warmup: int,
+    num_hubs: Optional[int],
+    workers_axis: List[int],
+    worker_context: Optional[str],
+) -> None:
+    """The mixed update/query pass behind ``--mutation-rate``.
+
+    Runs on a private copy of the workload graph with its own engine.
+    Each timed repetition applies a seeded batch of updates through
+    :meth:`~repro.core.engine.ReverseKRanksEngine.apply_updates` and then
+    the full query batch, so a row's wall-clock is the true mixed cost:
+    overlay build + hub-index repair + pool sync + queries.  Three things
+    are verified *in-run* (any failure raises
+    :class:`~repro.errors.CrossValidationError`):
+
+    * the :class:`UpdateReport` tallies match the :mod:`repro.obs`
+      counter deltas (``repro_graph_updates_total``,
+      ``repro_csr_recompactions_total``, ``repro_pool_graph_syncs_total``)
+      — the rows' counters are real, not self-reported;
+    * when the pass has a parallel row and no batch forced a
+      recompaction, the worker PIDs are unchanged at the end — updates
+      were absorbed by live workers, never by a pool restart;
+    * the final overlay-path answers are bit-identical (ranks *and* work
+      counters for the dynamic row; rank values for the indexed row,
+      whose retained learned entries may legitimately re-order boundary
+      ties) to a fresh engine recompiled from scratch over an
+      identically-mutated graph — ``mutation_consistent``.
+    """
+    kinds = (AlgorithmKind.DYNAMIC, AlgorithmKind.INDEXED)
+    if workload.partition is not None:
+        for kind in kinds:
+            key = f"{kind.value}@mut"
+            result.algorithms[key] = AlgorithmTiming(
+                algorithm=key,
+                skipped="mutation pass is monochromatic-only",
+            )
+        return
+
+    ops_per_batch = max(1, round(mutation_rate * len(workload.queries)))
+    shadow = workload.graph.copy()
+    graph = workload.graph.copy()
+    rng = random.Random(workload.seed * 8191 + 0xD17A)
+    queries = workload.queries
+
+    build_kwargs = dict(workload.index_params)
+    if num_hubs is not None:
+        build_kwargs["num_hubs"] = num_hubs
+    capacity = int(build_kwargs.pop("capacity", max(workload.k, 16)))
+    parallel_workers = max(
+        (value for value in workers_axis if value > 1), default=None
+    )
+
+    engine = ReverseKRanksEngine(graph)
+    try:
+        engine.build_index(capacity=capacity, use_csr=True, **build_kwargs)
+        hubs = engine.index.hubs
+        pids_before = None
+        if parallel_workers is not None:
+            pool = engine.prepare_parallel(parallel_workers, worker_context)
+            pids_before = sorted(
+                process.pid for process in pool._processes
+            )
+
+        any_recompacted = False
+        mutation_rows: List[AlgorithmTiming] = []
+        workers_values = [1] + (
+            [parallel_workers] if parallel_workers is not None else []
+        )
+        for kind in kinds:
+            for num_workers in workers_values:
+                key = f"{kind.value}@mut" + (
+                    "" if num_workers == 1 else f"@w{num_workers}"
+                )
+                timing = AlgorithmTiming(algorithm=key, workers=num_workers)
+                result.algorithms[key] = timing
+                mutation_rows.append(timing)
+                run_kwargs = dict(use_csr=True)
+                if num_workers > 1:
+                    run_kwargs.update(
+                        workers=num_workers, worker_context=worker_context
+                    )
+
+                applied_before = _metric_value(
+                    engine, "repro_graph_updates_total", result="applied"
+                )
+                recompactions_before = _metric_value(
+                    engine, "repro_csr_recompactions_total"
+                )
+                syncs_before = _metric_value(
+                    engine, "repro_pool_graph_syncs_total"
+                )
+
+                for _ in range(warmup):
+                    engine.query_many(
+                        queries, workload.k, algorithm=kind, **run_kwargs
+                    )
+                applied = recompacted = synced = 0
+                batch: List[QueryResult] = []
+                for _ in range(repetitions):
+                    ops = _mutation_ops(rng, shadow, ops_per_batch)
+                    started = time.perf_counter()
+                    report = engine.apply_updates(ops)
+                    batch = engine.query_many(
+                        queries, workload.k, algorithm=kind, **run_kwargs
+                    )
+                    timing.repetitions.append(time.perf_counter() - started)
+                    applied += report.applied
+                    recompacted += int(report.recompacted)
+                    synced += int(report.pool_synced)
+                any_recompacted = any_recompacted or recompacted > 0
+
+                recompaction_delta = int(
+                    _metric_value(engine, "repro_csr_recompactions_total")
+                    - recompactions_before
+                )
+                sync_delta = int(
+                    _metric_value(engine, "repro_pool_graph_syncs_total")
+                    - syncs_before
+                )
+                applied_delta = int(
+                    _metric_value(
+                        engine, "repro_graph_updates_total", result="applied"
+                    )
+                    - applied_before
+                )
+                if (
+                    applied_delta != applied
+                    or recompaction_delta != recompacted
+                    or sync_delta != synced
+                ):
+                    raise CrossValidationError(
+                        f"mutation row {key!r} on workload {workload.name!r}: "
+                        f"UpdateReport tallies (applied={applied}, "
+                        f"recompacted={recompacted}, synced={synced}) "
+                        f"disagree with repro.obs counter deltas "
+                        f"(applied={applied_delta}, "
+                        f"recompacted={recompaction_delta}, "
+                        f"synced={sync_delta})"
+                    )
+                timing.updates_applied = applied
+                timing.csr_recompactions = recompaction_delta
+                timing.pool_graph_syncs = sync_delta
+                timing.rank_refinements = sum(
+                    item.stats.rank_refinements for item in batch
+                )
+
+        if (
+            pids_before is not None
+            and not any_recompacted
+            and engine._pool is not None
+        ):
+            pids_after = sorted(
+                process.pid for process in engine._pool._processes
+            )
+            if pids_after != pids_before:
+                raise CrossValidationError(
+                    f"mutation pass on workload {workload.name!r} restarted "
+                    f"the worker pool without a recompaction: PIDs "
+                    f"{pids_before} -> {pids_after}"
+                )
+
+        _validate_mutation_pass(
+            workload, result, engine, shadow, queries, hubs, capacity,
+            build_kwargs.get("explore_limit"),
+        )
+        # The pass-level recompile validation covers every row that ran
+        # (they all answered from the same overlay/repair lineage).
+        for timing in mutation_rows:
+            timing.validated = True
+    finally:
+        engine.close_pool()
+
+
+def _validate_mutation_pass(
+    workload: Workload,
+    result: WorkloadResult,
+    engine: ReverseKRanksEngine,
+    shadow,
+    queries,
+    hubs,
+    capacity: int,
+    explore_limit,
+) -> None:
+    """Bit-identity of the overlay path against a from-scratch recompile.
+
+    ``shadow`` received exactly the op sequence the engine absorbed
+    through ``apply_updates``, in the same order, so a fresh engine over
+    it compiles the CSR a cold restart would produce.  Dynamic answers
+    must match with identical ranks *and* identical work counters
+    (``QueryStats`` minus wall-clock); the repaired index is rebuilt over
+    the same hub set and must produce identical rank values.
+    """
+    fresh = ReverseKRanksEngine(shadow)
+    backend = fresh.compact_graph()
+    expected = fresh.query_many(
+        queries, workload.k, algorithm=AlgorithmKind.DYNAMIC
+    )
+    actual = engine.query_many(
+        queries, workload.k, algorithm=AlgorithmKind.DYNAMIC
+    )
+    for want, got in zip(expected, actual):
+        want_stats = want.stats.as_dict()
+        got_stats = got.stats.as_dict()
+        want_stats.pop("elapsed_seconds", None)
+        got_stats.pop("elapsed_seconds", None)
+        if want.as_pairs() != got.as_pairs() or want_stats != got_stats:
+            raise CrossValidationError(
+                f"overlay path diverges from a from-scratch recompile on "
+                f"workload {workload.name!r} for query={want.query!r}: "
+                f"recompiled={want.as_pairs()!r}/{want_stats!r} vs "
+                f"overlay={got.as_pairs()!r}/{got_stats!r}"
+            )
+    rebuilt = HubIndex.build(
+        shadow, capacity=capacity, hubs=hubs, explore_limit=explore_limit,
+        backend=backend,
+    )
+    fresh.adopt_index(rebuilt)
+    expected_indexed = fresh.query_many(
+        queries, workload.k, algorithm=AlgorithmKind.INDEXED
+    )
+    actual_indexed = engine.query_many(
+        queries, workload.k, algorithm=AlgorithmKind.INDEXED
+    )
+    for want, got in zip(expected_indexed, actual_indexed):
+        if not results_equivalent(want, got) or (
+            want.rank_values() != got.rank_values()
+        ):
+            raise CrossValidationError(
+                f"repaired hub index diverges from a same-hub rebuild on "
+                f"workload {workload.name!r} for query={want.query!r}: "
+                f"rebuilt={want.as_pairs()!r} vs repaired={got.as_pairs()!r}"
+            )
+    result.mutation_consistent = True
+
+
 def run_suite(
     workloads: List[Workload],
     repetitions: int = 3,
@@ -802,6 +1144,7 @@ def run_suite(
     stats_mode: str = "per-query",
     trace: bool = False,
     trace_dir: Optional[object] = None,
+    mutation_rate: float = 0.0,
     progress=None,
 ) -> List[WorkloadResult]:
     """Run every workload through :func:`run_workload`.
@@ -831,6 +1174,7 @@ def run_suite(
                 stats_mode=stats_mode,
                 trace=trace,
                 trace_dir=trace_dir,
+                mutation_rate=mutation_rate,
             )
         )
     return results

@@ -34,14 +34,15 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from typing import Hashable, Iterable, List, Optional, Union
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Tuple, Union
 
 from repro.core.bichromatic import (
     bichromatic_naive_reverse_k_ranks,
     bichromatic_reverse_k_ranks,
 )
 from repro.core.config import AlgorithmKind, BoundSet
-from repro.core.hub_index import HubIndex
+from repro.core.hub_index import HubIndex, HubIndexDelta
 from repro.core.hubs import HubSelectionStrategy
 from repro.core.naive import naive_reverse_k_ranks
 from repro.core.sds_dynamic import dynamic_reverse_k_ranks
@@ -55,6 +56,7 @@ from repro.core.types import (
 )
 from repro.errors import (
     BichromaticError,
+    GraphValidationError,
     IndexParameterError,
     InvalidKError,
     InvalidQueryNodeError,
@@ -65,6 +67,7 @@ from repro.errors import (
     is_positive_int,
 )
 from repro.graph.csr import CompactGraph
+from repro.graph.overlay import OverlayGraph
 from repro.graph.partition import BichromaticPartition
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
@@ -72,7 +75,36 @@ from repro.traversal.arena import ScratchArena
 
 NodeId = Hashable
 
-__all__ = ["ReverseKRanksEngine"]
+__all__ = ["ReverseKRanksEngine", "UpdateReport"]
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one :meth:`ReverseKRanksEngine.apply_updates` batch did.
+
+    ``touched``/``appended``/``removed`` list the nodes whose adjacency
+    effectively changed / that were added / removed, in application
+    order.  ``recompacted`` is true when the batch forced a full CSR
+    recompile (node removal, no usable base, or the overlay side-table
+    crossed the recompaction threshold); otherwise the mutations landed
+    as overlay rows (``overlay_rows`` counts the side-table size after
+    the batch).  ``index_delta`` carries the hub-index repair delta when
+    the engine holds an index; ``pool_synced`` is true when a live
+    worker pool absorbed the update in place via the graph broadcast
+    instead of being torn down.
+    """
+
+    applied: int
+    noops: int
+    touched: Tuple[NodeId, ...]
+    appended: Tuple[NodeId, ...]
+    removed: Tuple[NodeId, ...]
+    recompacted: bool
+    overlay_rows: int
+    index_repaired: bool
+    index_delta: Optional[HubIndexDelta]
+    pool_synced: bool
+    graph_version: Optional[int]
 
 _INDEXED_IS_MONOCHROMATIC = (
     "the indexed algorithm is monochromatic-only (the hub index stores "
@@ -140,6 +172,12 @@ class ReverseKRanksEngine:
     #: fails.  ``0`` restores fail-fast.  Overridable per instance.
     pool_crash_retries: int = 2
 
+    #: How many overlay rows (touched + appended nodes) the CSR
+    #: side-table may accumulate before :meth:`apply_updates` recompacts
+    #: into a fresh base compilation.  ``None`` (default) resolves to
+    #: ``max(8, base_nodes // 4)``.  Overridable per instance.
+    overlay_threshold: Optional[int] = None
+
     def __init__(
         self,
         graph,
@@ -168,6 +206,14 @@ class ReverseKRanksEngine:
         self._index = index
         self._csr: Optional[CompactGraph] = None
         self._csr_version: Optional[int] = None
+        # Incremental-maintenance state: the frozen base compilation the
+        # current overlay (if any) patches, plus the accumulated mutation
+        # side-table keys.  apply_updates() layers effective changes onto
+        # the base instead of recompiling; compact_graph() resets all
+        # three whenever it performs a full compile.
+        self._overlay_base: Optional[CompactGraph] = None
+        self._overlay_touched: set = set()
+        self._overlay_appended: list = []
         # Bichromatic candidate/counted masks over the compact node order,
         # cached per graph version (building them is O(n) per query
         # otherwise — see CompactSDSTreeSearch).
@@ -265,6 +311,34 @@ class ReverseKRanksEngine:
             "repro_worker_timeouts_total",
             "Batches that blew their deadline and had stuck workers killed.",
         )
+        updates = metrics.counter(
+            "repro_graph_updates_total",
+            "Graph mutation operations processed by apply_updates, by "
+            "outcome (no-ops never invalidate anything).",
+            labels=("result",),
+        )
+        self._m_updates_applied = updates.labels(result="applied")
+        self._m_updates_noop = updates.labels(result="noop")
+        self._m_recompactions = metrics.counter(
+            "repro_csr_recompactions_total",
+            "Full CSR compilations (the initial compile and every "
+            "recompaction; overlay updates do not count).",
+        )
+        self._m_index_repairs = metrics.counter(
+            "repro_index_repairs_total",
+            "Incremental hub-index repairs performed after graph updates "
+            "(instead of full index rebuilds).",
+        )
+        self._m_pool_graph_syncs = metrics.counter(
+            "repro_pool_graph_syncs_total",
+            "In-place worker-pool graph syncs (overlay broadcast instead "
+            "of pool teardown).",
+        )
+        self._m_overlay_rows = metrics.gauge(
+            "repro_csr_overlay_rows",
+            "Adjacency rows currently overlaid on the frozen CSR base "
+            "(0 when the compilation is a plain base).",
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -327,13 +401,21 @@ class ReverseKRanksEngine:
         """The CSR compilation of the engine's graph (compiled lazily).
 
         The compilation is cached and keyed by the graph's mutation
-        :attr:`~repro.graph.Graph.version`, so repeated batches reuse it and
-        mutations trigger exactly one recompile.
+        :attr:`~repro.graph.Graph.version`.  Mutations applied through
+        :meth:`apply_updates` keep the cache warm by layering an
+        :class:`~repro.graph.overlay.OverlayGraph` side-table over the
+        frozen base; only out-of-band mutations (or a side-table past the
+        recompaction threshold) trigger a full recompile here.
         """
         version = getattr(self._graph, "version", None)
         if self._csr is None or self._csr_version != version:
             self._csr = CompactGraph.from_graph(self._graph)
             self._csr_version = version
+            self._overlay_base = self._csr
+            self._overlay_touched = set()
+            self._overlay_appended = []
+            self._m_recompactions.inc()
+            self._m_overlay_rows.set(0)
         return self._csr
 
     # ------------------------------------------------------------------
@@ -422,6 +504,338 @@ class ReverseKRanksEngine:
         index.ensure_fresh()
         self._index = index
         return index
+
+    # ------------------------------------------------------------------
+    # Incremental graph maintenance
+    # ------------------------------------------------------------------
+    def apply_updates(self, updates: Iterable[tuple]) -> UpdateReport:
+        """Apply a batch of graph mutations, maintaining every derived cache.
+
+        Historically *any* mutation of the engine's graph bumped its
+        version and nuked everything keyed by it on the next query: the
+        CSR compilation recompiled from scratch, the hub index raised
+        stale, and the worker pool was torn down and respawned.  This
+        method applies mutations *through* the engine instead, so each
+        derived artefact is patched incrementally:
+
+        * the CSR compilation becomes an
+          :class:`~repro.graph.overlay.OverlayGraph` — frozen base
+          buffers plus full replacement rows for the touched nodes —
+          until the side-table crosses :attr:`overlay_threshold`, at
+          which point one recompaction folds it into a fresh base;
+        * the hub index is repaired in place
+          (:meth:`~repro.core.hub_index.HubIndex.repair`): only sources
+          whose exploration cone can reach a touched endpoint are
+          dropped and re-explored, and the resulting
+          :class:`~repro.core.hub_index.HubIndexDelta` is returned on
+          the report for journaling;
+        * a live worker pool receives the new side-table (and the
+          repaired index state) over its broadcast channel — the workers
+          rebuild their overlay over the base they already hold, no
+          teardown, no process churn.
+
+        Supported operations (tuples, applied in order)::
+
+            ("add_node", node)
+            ("add_edge", source, target, weight)   # weight optional, 1.0
+            ("remove_edge", source, target)
+            ("remove_node", node)
+
+        No-ops — adding an existing node, re-adding an edge with an
+        equal-or-higher weight (parallel edges collapse to the minimum) —
+        are detected via the graph's version counter and never touch any
+        cache.  Node removals renumber the CSR node table and therefore
+        force recompaction (and a pool rebuild); everything else stays
+        incremental.  Bichromatic engines are rejected: partition
+        membership of new nodes is not derivable here.
+
+        Results after an incremental batch are **bit-identical** to
+        recompiling and rebuilding from scratch — overlay rows replicate
+        a recompile's enumeration order, and repaired hub entries match a
+        rebuild's (the differential fuzz suite pins both, ranks and
+        ``QueryStats`` counters).
+
+        Raises
+        ------
+        GraphValidationError
+            On a malformed operation tuple (checked before anything is
+            applied), or when the engine's graph is a compiled
+            ``CompactGraph`` (immutable).
+        BichromaticError
+            On a bichromatic engine.
+        EdgeNotFoundError / NodeNotFoundError
+            From ``remove_edge`` / ``remove_node`` of a missing edge or
+            node.  The batch is *not* transactional: operations before
+            the failing one stay applied, and the engine resynchronises
+            its caches (recompaction + conservative index repair + pool
+            teardown) before re-raising, so it remains consistent.
+        """
+        if self._partition is not None:
+            raise BichromaticError(
+                "apply_updates is monochromatic-only: mutating a "
+                "partitioned graph would need partition membership for "
+                "new nodes; rebuild the partition and engine instead"
+            )
+        graph = self._graph
+        if getattr(graph, "is_compact", False):
+            raise GraphValidationError(
+                "cannot apply updates: the engine's graph is a compiled "
+                "CompactGraph (immutable); updates go through the "
+                "coordinator engine that owns the mutable Graph"
+            )
+        ops = list(updates)
+        for position, op in enumerate(ops):
+            if not isinstance(op, tuple) or not op:
+                raise GraphValidationError(
+                    f"update {position} is not an operation tuple: {op!r}"
+                )
+            tag = op[0]
+            if tag == "add_node" and len(op) == 2:
+                continue
+            if tag == "add_edge" and len(op) in (3, 4):
+                continue
+            if tag == "remove_edge" and len(op) == 3:
+                continue
+            if tag == "remove_node" and len(op) == 2:
+                continue
+            raise GraphValidationError(
+                f"update {position} is malformed: {op!r} (expected "
+                "('add_node', n), ('add_edge', u, v[, w]), "
+                "('remove_edge', u, v) or ('remove_node', n))"
+            )
+
+        pre_version = getattr(graph, "version", None)
+        applied = 0
+        noops = 0
+        touched_order: List[NodeId] = []
+        touched = set()
+        appended: List[NodeId] = []
+        removed: List[NodeId] = []
+        zero_weight = False
+
+        def touch(node: NodeId) -> None:
+            if node not in touched:
+                touched.add(node)
+                touched_order.append(node)
+
+        try:
+            for op in ops:
+                tag = op[0]
+                if tag == "add_node":
+                    node = op[1]
+                    if graph.has_node(node):
+                        noops += 1
+                        continue
+                    graph.add_node(node)
+                    appended.append(node)
+                    touch(node)
+                    applied += 1
+                elif tag == "add_edge":
+                    source, target = op[1], op[2]
+                    weight = op[3] if len(op) == 4 else 1.0
+                    if source == target:
+                        noops += 1  # self loops never change a rank
+                        continue
+                    new_source = not graph.has_node(source)
+                    new_target = not graph.has_node(target)
+                    before = graph.version
+                    graph.add_edge(source, target, weight)
+                    if graph.version == before:
+                        noops += 1
+                        continue
+                    applied += 1
+                    touch(source)
+                    touch(target)
+                    if new_source:
+                        appended.append(source)
+                    if new_target:
+                        appended.append(target)
+                    if graph.weight(source, target) == 0.0:
+                        zero_weight = True
+                else:
+                    # remove_edge / remove_node: capture zero-weight
+                    # involvement *before* the removal (see
+                    # HubIndex.repair's soundness note).
+                    if tag == "remove_edge":
+                        source, target = op[1], op[2]
+                        if graph.weight(source, target) == 0.0:
+                            zero_weight = True
+                        graph.remove_edge(source, target)
+                        applied += 1
+                        touch(source)
+                        touch(target)
+                    else:  # remove_node
+                        node = op[1]
+                        if not graph.has_node(node):
+                            graph.remove_node(node)  # raises NodeNotFoundError
+                        neighbors = set(graph.neighbors(node))
+                        neighbors.update(graph.in_neighbors(node))
+                        if any(
+                            w == 0.0 for _, w in graph.neighbor_items(node)
+                        ) or any(
+                            w == 0.0 for _, w in graph.in_neighbor_items(node)
+                        ):
+                            zero_weight = True
+                        graph.remove_node(node)
+                        applied += 1
+                        removed.append(node)
+                        touch(node)
+                        for neighbor in neighbors:
+                            touch(neighbor)
+        except BaseException:
+            self._recover_after_partial_updates(
+                pre_version, touched_order, removed
+            )
+            raise
+
+        post_version = getattr(graph, "version", None)
+        if noops:
+            self._m_updates_noop.inc(noops)
+        if applied == 0:
+            # Nothing effective: the version counter did not move, so no
+            # cache — CSR, masks, index, pool — was invalidated.
+            return UpdateReport(
+                applied=0,
+                noops=noops,
+                touched=(),
+                appended=(),
+                removed=(),
+                recompacted=False,
+                overlay_rows=(
+                    self._csr.overlay_rows
+                    if self._csr is not None
+                    and getattr(self._csr, "is_overlay", False)
+                    else 0
+                ),
+                index_repaired=False,
+                index_delta=None,
+                pool_synced=False,
+                graph_version=post_version,
+            )
+        self._m_updates_applied.inc(applied)
+
+        # ---- CSR: overlay or recompact --------------------------------
+        base = self._overlay_base
+        removed_set = set(removed)
+        base_usable = (
+            not removed
+            and base is not None
+            and self._csr is not None
+            and self._csr_version == pre_version
+        )
+        if base_usable:
+            new_touched = set(self._overlay_touched)
+            new_touched.update(touched)
+            new_appended = self._overlay_appended + appended
+            threshold = self.overlay_threshold
+            if threshold is None:
+                threshold = max(8, base.num_nodes // 4)
+            if len(new_touched | set(new_appended)) > threshold:
+                base_usable = False
+        if base_usable:
+            csr = OverlayGraph.from_base(graph, base, new_touched, new_appended)
+            self._csr = csr
+            self._csr_version = post_version
+            self._overlay_touched = new_touched
+            self._overlay_appended = new_appended
+            self._m_overlay_rows.set(csr.overlay_rows)
+            recompacted = False
+        else:
+            self._csr = None
+            self._overlay_base = None
+            self._overlay_touched = set()
+            self._overlay_appended = []
+            csr = self.compact_graph()  # full compile; resets overlay state
+            recompacted = True
+
+        # ---- Hub index: repair in place -------------------------------
+        index_delta = None
+        if self._index is not None:
+            index_delta = self._index.repair(
+                touched_order,
+                search_graph=csr,
+                conservative=zero_weight,
+                removed_nodes=removed_set,
+            )
+            self._m_index_repairs.inc()
+
+        # ---- Worker pool: broadcast, don't tear down ------------------
+        pool_synced = False
+        if self._pool is not None and not self._pool.is_closed:
+            if recompacted:
+                # Node removal / threshold crossing renumbers the CSR node
+                # table the workers hold; the next parallel batch rebuilds.
+                self.close_pool()
+            else:
+                index_state = (
+                    self._index.export_state()
+                    if self._index is not None
+                    else None
+                )
+                try:
+                    self._pool.update_graph(
+                        csr, csr.overlay_state(), index_state=index_state
+                    )
+                except WorkerCrashError:
+                    # Degrade exactly like a mid-batch crash: drop the
+                    # pool; the next parallel batch builds a fresh one
+                    # over the current compilation.
+                    self.close_pool()
+                except ParallelExecutionError:
+                    self.close_pool()
+                    raise
+                else:
+                    pool_synced = True
+                    self._pool_version = post_version
+                    self._pool_index = self._index
+                    self._pool_index_revision = (
+                        self._index.revision
+                        if self._index is not None
+                        else None
+                    )
+                    self._m_pool_graph_syncs.inc()
+
+        return UpdateReport(
+            applied=applied,
+            noops=noops,
+            touched=tuple(touched_order),
+            appended=tuple(appended),
+            removed=tuple(removed),
+            recompacted=recompacted,
+            overlay_rows=(
+                csr.overlay_rows if getattr(csr, "is_overlay", False) else 0
+            ),
+            index_repaired=index_delta is not None,
+            index_delta=index_delta,
+            pool_synced=pool_synced,
+            graph_version=post_version,
+        )
+
+    def _recover_after_partial_updates(
+        self,
+        pre_version: Optional[int],
+        touched_order: List[NodeId],
+        removed: List[NodeId],
+    ) -> None:
+        """Resynchronise caches after apply_updates died mid-batch.
+
+        Anything applied before the failing operation is real; the cheap,
+        always-sound recovery is a forced recompaction plus a
+        conservative index repair, leaving the engine consistent for the
+        caller's error handling.
+        """
+        if getattr(self._graph, "version", None) == pre_version:
+            return  # nothing effective happened before the failure
+        self._csr = None
+        self._overlay_base = None
+        self._overlay_touched = set()
+        self._overlay_appended = []
+        if self._index is not None:
+            self._index.repair(
+                touched_order, conservative=True, removed_nodes=set(removed)
+            )
+            self._m_index_repairs.inc()
+        self.close_pool()
 
     # ------------------------------------------------------------------
     def query(
@@ -895,14 +1309,26 @@ class ReverseKRanksEngine:
             facilities = (
                 self._partition.facilities if self._partition is not None else None
             )
+            # Overlays refuse pickling and shared memory by design: the
+            # pool is always built around the frozen *base* compilation,
+            # and an active side-table rides along as a broadcast-style
+            # init payload the workers apply after attaching the base.
+            compact = self.compact_graph()
+            if getattr(compact, "is_overlay", False):
+                init_graph = compact.base
+                graph_update = compact.overlay_state()
+            else:
+                init_graph = compact
+                graph_update = None
             self._pool = WorkerPool(
-                self.compact_graph(),
+                init_graph,
                 workers=workers,
                 index_state=index_state,
                 facilities=facilities,
                 context=worker_context,
                 crash_retries=self.pool_crash_retries,
                 registry=self._registry,
+                graph_update=graph_update,
             )
             self._pool_version = version
             self._pool_context = worker_context

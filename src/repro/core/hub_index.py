@@ -95,14 +95,27 @@ class HubIndexDelta:
     accumulates per-source settled-node counts.  ``graph_version`` pins
     the delta to the graph mutation version its snapshot was taken at;
     merging into an index built for any other version is rejected.
+
+    **Repair deltas** (:meth:`HubIndex.repair`) additionally carry
+    ``removed_sources`` — sources whose entries an incremental graph
+    update invalidated, dropped *before* the re-learned ``ranks`` are
+    applied — and ``repaired_to_version``, the graph version the repair
+    advances the index to.  ``graph_version`` then names the
+    *pre*-repair version the receiving index must be at; after applying,
+    its version is ``repaired_to_version``.  Both fields default to
+    empty/``None``, so plain learning deltas (and deltas unpickled from
+    journals written before repairs existed, which lack the attributes
+    entirely) behave exactly as before.
     """
 
     graph_version: Optional[int] = None
     ranks: Dict[Tuple[NodeId, NodeId], int] = field(default_factory=dict)
     explorations: Dict[NodeId, int] = field(default_factory=dict)
+    removed_sources: Tuple[NodeId, ...] = ()
+    repaired_to_version: Optional[int] = None
 
     def __bool__(self) -> bool:
-        return bool(self.ranks or self.explorations)
+        return bool(self.ranks or self.explorations or self.removed_sources)
 
     def __len__(self) -> int:
         return len(self.ranks)
@@ -134,6 +147,7 @@ class HubIndex:
         "_reverse",
         "_check",
         "_explored",
+        "_explore_limit",
         "_learning_log",
         "_revision",
     )
@@ -158,6 +172,11 @@ class HubIndex:
         self._check: Dict[NodeId, int] = {}
         #: source -> total nodes settled across its explorations
         self._explored: Dict[NodeId, int] = {}
+        #: the build's per-hub exploration budget (the paper's ``M``), as
+        #: passed to :meth:`build` — ``None`` means "the whole graph".
+        #: :meth:`repair` re-explores affected hubs at this budget so a
+        #: repaired index matches a from-scratch rebuild.
+        self._explore_limit: Optional[int] = None
         #: live :class:`HubIndexDelta` capturing record_* calls, or ``None``
         self._learning_log: Optional[HubIndexDelta] = None
         #: monotonic count of record_rank/record_exploration calls — the
@@ -217,6 +236,7 @@ class HubIndex:
                 num_hubs = max(1, graph.num_nodes // 8)
             hubs = select_hubs(graph, num_hubs, strategy=strategy, rng=rng)
         index = cls(graph, capacity, hubs)
+        index._explore_limit = explore_limit
         limit = graph.num_nodes if explore_limit is None else explore_limit
         if limit <= 0:
             raise IndexParameterError(
@@ -284,6 +304,7 @@ class HubIndex:
                 num_hubs = max(1, graph.num_nodes // 8)
             hubs = select_hubs(graph, num_hubs, strategy=strategy, rng=rng)
         index = cls(graph, capacity, hubs)
+        index._explore_limit = explore_limit
         limit = graph.num_nodes if explore_limit is None else explore_limit
         if limit <= 0:
             raise IndexParameterError(
@@ -367,6 +388,7 @@ class HubIndex:
             "reverse": self._reverse,
             "check": self._check,
             "explored": self._explored,
+            "explore_limit": self._explore_limit,
             "meta": dict(meta or {}),
         }
         target = Path(path)
@@ -492,7 +514,10 @@ class HubIndex:
         index._reverse = payload["reverse"]
         index._check = payload["check"]
         index._explored = payload["explored"]
-        # Pre-meta files (io_version 1 predates the field) load with {}.
+        # Files written before repairs existed lack the budget; they load
+        # with ``None`` (whole-graph re-exploration on repair), same as
+        # pre-meta files (io_version 1 predates both fields) load with {}.
+        index._explore_limit = payload.get("explore_limit")
         return index, dict(payload.get("meta") or {})
 
     # ------------------------------------------------------------------
@@ -522,6 +547,7 @@ class HubIndex:
             "reverse": {target: dict(sources) for target, sources in self._reverse.items()},
             "check": dict(self._check),
             "explored": dict(self._explored),
+            "explore_limit": self._explore_limit,
         }
 
     @classmethod
@@ -543,6 +569,7 @@ class HubIndex:
         index._reverse = {target: dict(sources) for target, sources in state["reverse"].items()}
         index._check = dict(state["check"])
         index._explored = dict(state["explored"])
+        index._explore_limit = state.get("explore_limit")
         return index
 
     def start_learning_log(self) -> None:
@@ -588,6 +615,11 @@ class HubIndex:
             raise IndexParameterError(
                 f"merge_delta expects a HubIndexDelta, got {type(delta).__name__}"
             )
+        # ``getattr`` rather than attribute access: deltas unpickled from
+        # journals written before repairs existed lack the fields entirely.
+        repaired_to = getattr(delta, "repaired_to_version", None)
+        if repaired_to is not None:
+            return self._merge_repair_delta(delta, repaired_to)
         self.ensure_fresh()
         if (
             delta.graph_version is not None
@@ -604,6 +636,213 @@ class HubIndex:
         for node, settled in delta.explorations.items():
             self.record_exploration(node, settled)
         return len(delta.ranks)
+
+    def _merge_repair_delta(self, delta: HubIndexDelta, repaired_to: int) -> int:
+        """Apply a :meth:`repair` delta produced by another index replica.
+
+        A repair delta transitions a replica from ``delta.graph_version``
+        (the pre-repair graph version, which this index must currently be
+        at) to ``delta.repaired_to_version``.  The deliberate *absence* of
+        freshness checks mirrors the situation it runs in: the replica's
+        graph has already absorbed the mutation (so ``ensure_fresh`` would
+        spuriously reject), and during journal replay the graph may be
+        several mutations ahead of the delta being replayed — the
+        version-chaining check below is the guard that matters, because a
+        contiguous chain of repair deltas walks the index version forward
+        step by step to wherever the graph ended up.
+        """
+        if (
+            delta.graph_version is not None
+            and self._graph_version is not None
+            and delta.graph_version != self._graph_version
+        ):
+            raise IndexParameterError(
+                "hub-index repair delta does not chain: it repairs graph "
+                f"version {delta.graph_version} -> {repaired_to}, but this "
+                f"index is at version {self._graph_version}; replay the "
+                "intermediate deltas first"
+            )
+        for source in getattr(delta, "removed_sources", ()):
+            self._drop_source(source)
+        self._graph_version = repaired_to
+        for (source, target), rank in delta.ranks.items():
+            self.record_rank(source, target, rank)
+        for node, settled in delta.explorations.items():
+            self.record_exploration(node, settled)
+        return len(delta.ranks)
+
+    # ------------------------------------------------------------------
+    # Incremental repair after graph mutations
+    # ------------------------------------------------------------------
+    def _drop_source(self, source: NodeId) -> None:
+        """Forget everything recorded from ``source``, back-references included."""
+        targets = self._known.pop(source, None)
+        if targets:
+            for target in targets:
+                back = self._reverse.get(target)
+                if back is not None:
+                    back.pop(source, None)
+                    if not back:
+                        del self._reverse[target]
+        self._check.pop(source, None)
+        self._explored.pop(source, None)
+        self._revision += 1
+
+    def repair(
+        self,
+        touched,
+        search_graph=None,
+        conservative: bool = False,
+        removed_nodes=(),
+    ) -> HubIndexDelta:
+        """Incrementally repair the index after a graph mutation.
+
+        Instead of discarding every stored rank when the graph's mutation
+        :attr:`~repro.graph.Graph.version` moves, drop only the sources
+        whose entries the mutation can have invalidated, re-explore the
+        affected *hubs* at the build's exploration budget, and advance the
+        index to the graph's current version.  Call **after** mutating the
+        graph, with ``touched`` naming every endpoint of every effective
+        change (added/removed/reweighted edges, added/removed nodes).
+
+        Soundness of the affected-source test
+        -------------------------------------
+        A source ``p``'s entries came from one truncated Dijkstra that
+        settled the set ``known[p]``; every unsettled node is at least as
+        far as the last settled one.  A mutation can only change some
+        ``Rank(p, t)`` for settled ``t`` if it changes a shortest-path
+        distance ``d(p, x)`` for some ``x`` strictly closer than ``t``'s
+        tie group, and such an ``x`` is itself settled.  Any create/
+        shorten of a path to a settled ``x`` through edge ``(u, v)``, and
+        any break of an existing shortest path through ``(u, v)``, forces
+        ``u`` or ``v`` to appear *in* ``known[p]`` (for a deletion the
+        shortest path ran through the edge, so its endpoints are strictly
+        closer than ``x``'s boundary and were settled; for an insertion a
+        new shorter path enters the settled region through its touched
+        endpoint).  Hence ``p`` is unaffected whenever
+        ``known[p] ∩ touched = ∅`` and ``p ∉ touched``.
+
+        The one exception is mutations involving a **zero-weight** edge.
+        Removing one can break a shortest path that continues through an
+        *unsettled* member of the boundary tie group along zero-weight
+        edges; inserting one from an unsettled boundary node can, under a
+        truncated ``explore_limit``, change *which* boundary-tie-group
+        members a from-scratch rebuild settles (ranks are unaffected, but
+        the recorded entry set would differ).  Both evade the membership
+        test, so callers must pass ``conservative=True`` whenever any
+        effective change touches a zero-weight edge (the engine does),
+        which treats every source as affected — trivially sound, and
+        still cheaper than a teardown because replicas are patched via
+        the delta instead of being rebuilt from scratch.
+
+        Affected sources are dropped entirely (learned, non-hub sources
+        are *not* re-explored — exactly the entries a from-scratch rebuild
+        would not have either, so repaired answers match a rebuild's);
+        affected hubs are re-explored in hub order at the stored
+        ``explore_limit``.  ``removed_nodes`` are pruned from the hub list
+        instead of re-explored.
+
+        Parameters
+        ----------
+        touched:
+            Node ids adjacent to any effective mutation.
+        search_graph:
+            Optional fresh :class:`~repro.graph.csr.CompactGraph` /
+            overlay compilation to run the re-explorations on (validated
+            via :func:`~repro.graph.csr.ensure_backend_fresh`).
+        conservative:
+            Treat *all* sources as affected (required when a zero-weight
+            edge was removed or its weight raised).
+        removed_nodes:
+            Nodes deleted from the graph; implicitly part of ``touched``.
+
+        Returns
+        -------
+        HubIndexDelta
+            A repair delta (``removed_sources`` + re-learned ranks,
+            ``graph_version`` = pre-repair version,
+            ``repaired_to_version`` = the graph's current version) that
+            :meth:`merge_delta` applies to replicas still at the
+            pre-repair version.
+
+        Raises
+        ------
+        IndexParameterError
+            When a learning log is active (pop it first — the repair
+            would corrupt its version pinning), or ``search_graph`` is
+            stale for the graph.
+        """
+        if self._learning_log is not None:
+            raise IndexParameterError(
+                "cannot repair while a learning log is active: pop the log "
+                "and merge it before applying graph mutations"
+            )
+        old_version = self._graph_version
+        new_version = getattr(self._graph, "version", None)
+        if old_version is not None and new_version == old_version:
+            # The mutation batch was a no-op; nothing to invalidate.
+            return HubIndexDelta(graph_version=old_version)
+        if search_graph is not None:
+            ensure_backend_fresh(
+                self._graph, search_graph, exc_type=IndexParameterError
+            )
+        removed_set = set(removed_nodes)
+        touched_set = set(touched) | removed_set
+        affected: List[NodeId] = []
+        seen = set()
+        if conservative:
+            for source in self._known:
+                affected.append(source)
+                seen.add(source)
+            for source in self._explored:
+                if source not in seen:
+                    affected.append(source)
+                    seen.add(source)
+            for hub in self._hubs:
+                if hub not in seen:
+                    affected.append(hub)
+                    seen.add(hub)
+        else:
+            for source, targets in self._known.items():
+                if source in touched_set or not touched_set.isdisjoint(targets):
+                    affected.append(source)
+                    seen.add(source)
+            # Sources with exploration counts but no surviving rank
+            # entries (e.g. hubs that settled nothing), and hubs that are
+            # themselves mutation endpoints, must be refreshed too.
+            for source in self._explored:
+                if source not in seen and source in touched_set:
+                    affected.append(source)
+                    seen.add(source)
+            for hub in self._hubs:
+                if hub not in seen and hub in touched_set:
+                    affected.append(hub)
+                    seen.add(hub)
+        for source in affected:
+            self._drop_source(source)
+        if removed_set:
+            self._hubs = [hub for hub in self._hubs if hub not in removed_set]
+        self._graph_version = new_version
+        delta = HubIndexDelta(
+            graph_version=old_version,
+            removed_sources=tuple(affected),
+            repaired_to_version=new_version,
+        )
+        limit = (
+            self._graph.num_nodes
+            if self._explore_limit is None
+            else self._explore_limit
+        )
+        # Route the re-explorations through the delta so replicas receive
+        # exactly what the master re-learned.
+        self._learning_log = delta
+        try:
+            for hub in self._hubs:
+                if hub in seen:
+                    self._explore_hub(hub, limit, search_graph)
+        finally:
+            self._learning_log = None
+        return delta
 
     # ------------------------------------------------------------------
     # Introspection

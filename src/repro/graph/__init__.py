@@ -15,6 +15,7 @@ serialisation, validation, statistics and bichromatic partitions.
 from repro.graph.graph import Graph
 from repro.graph.builder import GraphBuilder
 from repro.graph.csr import CompactGraph
+from repro.graph.overlay import OverlayGraph
 from repro.graph.shm import (
     SharedGraphHandle,
     SharedGraphOwner,
@@ -30,6 +31,7 @@ __all__ = [
     "Graph",
     "GraphBuilder",
     "CompactGraph",
+    "OverlayGraph",
     "SharedGraphHandle",
     "SharedGraphOwner",
     "share_compact_graph",

@@ -98,6 +98,16 @@ class CompactGraph:
     #: import cycles between the graph and traversal layers).
     is_compact = True
 
+    #: Overlay markers.  A plain compilation has no mutation side-table;
+    #: :class:`~repro.graph.overlay.OverlayGraph` shadows these with per-
+    #: instance row dicts (``index -> (targets array, weights array)``).
+    #: The traversal fast paths probe ``csr.overlay_out`` / ``overlay_in``
+    #: once per traversal, so the static-graph hot loops pay a single
+    #: ``None`` check.
+    is_overlay = False
+    overlay_out: Optional[Dict[int, Tuple[array, array]]] = None
+    overlay_in: Optional[Dict[int, Tuple[array, array]]] = None
+
     __slots__ = (
         "_directed",
         "name",

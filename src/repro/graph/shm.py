@@ -218,6 +218,11 @@ def share_compact_graph(graph: CompactGraph) -> SharedGraphOwner:
             "share_compact_graph requires a CompactGraph compilation; "
             "compile with CompactGraph.from_graph() first"
         )
+    if getattr(graph, "is_overlay", False):
+        raise GraphValidationError(
+            "cannot share an OverlayGraph: publish the frozen base "
+            "compilation and broadcast overlay_state() to workers instead"
+        )
     out_offsets, out_targets, out_weights = graph.out_csr()
     in_offsets, in_sources, in_weights = graph.in_csr()
     shares_buffers = in_offsets is out_offsets

@@ -190,6 +190,13 @@ class WorkerPool:
         Default number of worker deaths :meth:`run_batch` heals from
         (respawn + re-dispatch) before giving up on a batch; ``0``
         restores the fail-fast behaviour.  Overridable per batch.
+    graph_update:
+        Optional :meth:`~repro.graph.overlay.OverlayGraph.overlay_state`
+        side-table: workers attach the (base) ``graph`` as usual, then
+        rebuild the overlay over it before constructing their engines —
+        the startup twin of :meth:`update_graph`, used when a pool is
+        created while the coordinator's compilation already carries
+        incremental mutations.
     """
 
     def __init__(
@@ -204,6 +211,7 @@ class WorkerPool:
         share_graph: Optional[bool] = None,
         crash_retries: int = 2,
         registry=None,
+        graph_update: Optional[Dict[str, object]] = None,
     ) -> None:
         # Attributes close() touches come first: a constructor failure at
         # any later point must leave close() safe to run.
@@ -226,6 +234,12 @@ class WorkerPool:
                 "array buffers are what make shipping the graph cheap); "
                 "compile with CompactGraph.from_graph() first"
             )
+        if getattr(graph, "is_overlay", False):
+            raise ParallelExecutionError(
+                "WorkerPool is built around the frozen base compilation; "
+                "pass overlay.base as the graph and overlay.overlay_state() "
+                "as graph_update"
+            )
         try:
             ctx = multiprocessing.get_context(context)
         except ValueError:
@@ -238,14 +252,28 @@ class WorkerPool:
         self._start_method = ctx.get_start_method()
         self._has_index = index_state is not None
         self._job_ids = itertools.count()
+        # The *base* compilation: the only graph the workers' startup
+        # transports (shared segment or pickled copy) ever carry.
+        self._init_graph = graph
         # Kept for decoding shard result blocks (entry nodes travel as
-        # CSR indexes of this compilation).
-        self._graph = graph
+        # CSR indexes of this compilation).  With an overlay side-table
+        # in play this is the overlay view — same node indexing for base
+        # nodes, appended nodes at the tail — rebuilt parent-side so
+        # decode agrees with what the workers compute against.
+        if graph_update is not None:
+            from repro.graph.overlay import OverlayGraph
+
+            self._graph = OverlayGraph.from_state(graph, graph_update)
+        else:
+            self._graph = graph
         # Retained so a dead slot can be respawned with current state:
-        # _index_state tracks update_index() broadcasts, so replacements
-        # start from the latest snapshot, not the construction-time one.
+        # _index_state tracks update_index() broadcasts and
+        # _graph_update_state tracks update_graph() broadcasts, so
+        # replacements start from the latest snapshots, not the
+        # construction-time ones.
         self._ctx = ctx
         self._index_state = index_state
+        self._graph_update_state = graph_update
         self._facilities = facilities
         self._start_timeout = start_timeout
         self._respawn_timeout = respawn_timeout
@@ -313,6 +341,7 @@ class WorkerPool:
                     if self._graph_owner is not None
                     else None
                 ),
+                graph_update=graph_update,
             )
             self._startup_payload_bytes = len(init_bytes)
             self._m_ipc_startup.inc(len(init_bytes) * workers)
@@ -675,6 +704,70 @@ class WorkerPool:
             pending -= 1
         self._has_index = True
 
+    def update_graph(
+        self,
+        new_graph,
+        update_state: Dict[str, object],
+        index_state: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Broadcast an overlay side-table to every worker (blocking).
+
+        The incremental-maintenance twin of :meth:`update_index`: after
+        the coordinator applies graph mutations as a CSR delta-overlay
+        (:meth:`~repro.core.engine.ReverseKRanksEngine.apply_updates`),
+        the pool stays alive — each worker rebuilds the overlay over the
+        frozen base compilation it already holds (shared-memory mapped
+        or unpickled at startup; the side-table's base digest is
+        verified on the worker side) and swaps in a fresh engine, plus a
+        new hub-index snapshot when ``index_state`` is given (the
+        repaired master state, exported *after*
+        :meth:`~repro.core.hub_index.HubIndex.repair`, so worker indexes
+        land at the new graph version).  ``new_graph`` is the
+        coordinator's overlay view, adopted parent-side for decoding
+        shard result blocks.  Returns once every worker has
+        acknowledged; both states are retained first so a slot respawned
+        mid- or post-sync starts from them.
+
+        Raises
+        ------
+        ParallelExecutionError
+            When the pool is closed, the side-table was built over a
+            different base than this pool ships its workers, or a worker
+            failed to adopt the update (remote traceback embedded).
+        WorkerCrashError
+            When a worker process died during the sync.
+        """
+        if self._closed:
+            raise ParallelExecutionError(
+                "cannot update the graph on a closed WorkerPool"
+            )
+        if update_state.get("base_digest") != self._init_graph.content_digest():
+            raise ParallelExecutionError(
+                "overlay side-table was built over a different base "
+                "compilation than this pool's workers hold; rebuild the "
+                "pool instead"
+            )
+        job_id = next(self._job_ids)
+        # Retain first: even if a worker dies mid-sync and the caller
+        # retries, a respawned replacement must start from this state.
+        self._graph = new_graph
+        self._graph_update_state = update_state
+        self._index_state = index_state
+        self._has_index = index_state is not None
+        for task_queue in self._task_queues:
+            task_queue.put(("graph", job_id, update_state, index_state))
+        pending = self._num_workers
+        while pending:
+            message_kind, worker_id, message_job, payload = self._receive()
+            if message_job != job_id:
+                continue
+            if message_kind == "error":
+                raise ParallelExecutionError(
+                    f"worker {worker_id} failed to adopt the graph "
+                    f"update:\n{payload}"
+                )
+            pending -= 1
+
     def run_hub_build(self, hubs, explore_limit: int, capacity: int):
         """Explore ``hubs`` across the workers; returns deltas in hub order.
 
@@ -788,14 +881,21 @@ class WorkerPool:
         return process
 
     def _current_init_bytes(self) -> bytes:
-        """The startup payload a worker spawned *now* should receive."""
+        """The startup payload a worker spawned *now* should receive.
+
+        Always ships the frozen *base* compilation (overlays refuse both
+        pickling and shared memory); the latest overlay side-table, if
+        any, rides along as ``graph_update`` so a respawned slot comes
+        back answering against the same mutated adjacency as its peers.
+        """
         return build_init_payload(
-            None if self._graph_owner is not None else self._graph,
+            None if self._graph_owner is not None else self._init_graph,
             index_state=self._index_state,
             facilities=self._facilities,
             graph_handle=(
                 self._graph_owner.handle if self._graph_owner is not None else None
             ),
+            graph_update=self._graph_update_state,
         )
 
     def _respawn(self, worker_id: int) -> None:

@@ -44,7 +44,12 @@ Message protocol (all tuples, queue-pickled)
   traced — see :mod:`repro.obs.trace`), ``("hubs", job_id, hubs,
   explore_limit, capacity)`` for a hub-index build shard, ``("index",
   job_id, index_state)`` to adopt a fresher hub-index snapshot
-  (acknowledged with a bare ``"done"``), or ``None`` to shut down.
+  (acknowledged with a bare ``"done"``), ``("graph", job_id,
+  update_state, index_state)`` to rebuild the serving engine over a
+  delta-overlay (:meth:`~repro.graph.overlay.OverlayGraph.overlay_state`
+  side-table applied over the startup base compilation, plus an optional
+  post-repair index snapshot; acknowledged with a bare ``"done"``), or
+  ``None`` to shut down.
 * worker -> parent: ``(kind, worker_id, job_id, payload)`` where ``kind``
   is ``"ready"`` (startup complete), ``"done"`` (payload is
   ``(shard_index, positions, block, delta, trace)`` for a query shard —
@@ -84,6 +89,7 @@ def build_init_payload(
     index_state: Optional[Dict[str, object]] = None,
     facilities=None,
     graph_handle=None,
+    graph_update: Optional[Dict[str, object]] = None,
 ) -> bytes:
     """Serialise the per-worker startup state (parent side).
 
@@ -95,11 +101,17 @@ def build_init_payload(
     pickled in full alongside its content digest.  ``facilities`` is the
     bichromatic V2 node set (or ``None``); ``index_state`` an
     :meth:`~repro.core.hub_index.HubIndex.export_state` snapshot (or
-    ``None``).
+    ``None``); ``graph_update`` an
+    :meth:`~repro.graph.overlay.OverlayGraph.overlay_state` side-table to
+    re-apply over the transported base (or ``None``) — overlays refuse
+    pickling by design, so the base always travels frozen and the worker
+    reconstructs the overlay locally, digest-verified against the base it
+    actually attached.
     """
     payload = {
         "facilities": None if facilities is None else frozenset(facilities),
         "index_state": index_state,
+        "graph_update": graph_update,
     }
     if graph_handle is not None:
         payload["graph_handle"] = graph_handle
@@ -118,10 +130,7 @@ class _WorkerState:
         # parent-side pool — keeping the heavyweight imports inside the
         # constructor breaks any residual cycle risk and speeds up spawn's
         # re-import of the module itself.
-        from repro.core.engine import ReverseKRanksEngine
-        from repro.core.hub_index import HubIndex
         from repro.errors import ParallelExecutionError
-        from repro.graph.partition import BichromaticPartition
 
         handle = init.get("graph_handle")
         if handle is not None:
@@ -139,19 +148,55 @@ class _WorkerState:
                     "worker received a corrupted graph payload: content digest "
                     f"{digest} != expected {init['digest']}"
                 )
-        facilities = init["facilities"]
+        # The frozen base compilation and facility set are retained for
+        # the worker's whole lifetime: every later ("graph", ...) task
+        # rebuilds its overlay over *this* base, never over a previous
+        # overlay (overlays do not stack).
+        self._base_graph = graph
+        self._facilities = init["facilities"]
+        graph_update = init.get("graph_update")
+        if graph_update is not None:
+            from repro.graph.overlay import OverlayGraph
+
+            # from_state digest-verifies the side-table against the base
+            # this worker actually attached/unpickled.
+            graph = OverlayGraph.from_state(graph, graph_update)
+        self._build_engine(graph, init["index_state"])
+
+    def _build_engine(self, graph, index_state) -> None:
+        """(Re)assemble the serving engine around ``graph``."""
+        from repro.core.engine import ReverseKRanksEngine
+        from repro.core.hub_index import HubIndex
+        from repro.graph.partition import BichromaticPartition
+
         partition = (
-            BichromaticPartition(graph, facilities)
-            if facilities is not None
+            BichromaticPartition(graph, self._facilities)
+            if self._facilities is not None
             else None
         )
-        index_state = init["index_state"]
         index = (
             HubIndex.from_state(graph, index_state)
             if index_state is not None
             else None
         )
         self.engine = ReverseKRanksEngine(graph, partition=partition, index=index)
+
+    def update_graph(self, update_state, index_state) -> None:
+        """Swap in a new delta-overlay without restarting the process.
+
+        ``update_state`` is the coordinator's
+        :meth:`~repro.graph.overlay.OverlayGraph.overlay_state` — a full
+        replacement, not an increment: it is applied over the retained
+        startup *base*, so consecutive updates never stack overlays.
+        ``index_state`` (when given) is the master's post-repair
+        :meth:`~repro.core.hub_index.HubIndex.export_state`, exported at
+        the overlay's graph version so the rebuilt engine's freshness
+        checks hold immediately.
+        """
+        from repro.graph.overlay import OverlayGraph
+
+        graph = OverlayGraph.from_state(self._base_graph, update_state)
+        self._build_engine(graph, index_state)
 
     def run_shard(
         self, shard_index, positions, queries, k, algorithm, bounds,
@@ -252,6 +297,7 @@ class _WorkerState:
         segment = self._segment
         self._segment = None
         self.engine = None
+        self._base_graph = None
         if segment is None:
             return
         import gc
@@ -314,6 +360,10 @@ def worker_main(
                 elif tag == "index":
                     (index_state,) = task[2:]
                     state.update_index(index_state)
+                    payload = None
+                elif tag == "graph":
+                    update_state, index_state = task[2:]
+                    state.update_graph(update_state, index_state)
                     payload = None
                 else:
                     raise ValueError(f"unknown worker task tag {tag!r}")

@@ -88,9 +88,11 @@ class CompactSDSTreeSearch:
         "_rev_offsets",
         "_rev_endpoints",
         "_rev_weights",
+        "_rev_rows",
         "_fwd_offsets",
         "_fwd_endpoints",
         "_fwd_weights",
+        "_fwd_rows",
         "_arena",
         "_parent_bound",
         "_height_bound",
@@ -167,6 +169,12 @@ class CompactSDSTreeSearch:
         # run outwards from each candidate, i.e. over out-adjacency.
         self._rev_offsets, self._rev_endpoints, self._rev_weights = csr.in_csr()
         self._fwd_offsets, self._fwd_endpoints, self._fwd_weights = csr.out_csr()
+        # Delta-overlay side-tables (None on plain compilations): full
+        # replacement rows keyed by node index, consulted before the frozen
+        # buffers.  Rows enumerate neighbours in the same order a recompile
+        # would, so the overlay path stays bit-identical to it.
+        self._rev_rows = csr.overlay_in
+        self._fwd_rows = csr.overlay_out
 
         num_nodes = csr.num_nodes
         if arena is None:
@@ -198,6 +206,7 @@ class CompactSDSTreeSearch:
         rev_offsets = self._rev_offsets
         rev_endpoints = self._rev_endpoints
         rev_weights = self._rev_weights
+        rev_rows = self._rev_rows
         parent_bound = self._parent_bound
         height_bound = self._height_bound
         bound_stamps = self._bound_stamps
@@ -238,12 +247,19 @@ class CompactSDSTreeSearch:
                 )
                 child_parent_bound = expand_bound
 
-            for position in range(rev_offsets[node], rev_offsets[node + 1]):
-                neighbor = rev_endpoints[position]
+            row = rev_rows.get(node) if rev_rows is not None else None
+            if row is None:
+                endpoints, edge_weights = rev_endpoints, rev_weights
+                start, stop = rev_offsets[node], rev_offsets[node + 1]
+            else:
+                endpoints, edge_weights = row
+                start, stop = 0, len(endpoints)
+            for position in range(start, stop):
+                neighbor = endpoints[position]
                 if settled[neighbor] == settled_epoch:
                     continue
                 if heap_push_or_decrease(
-                    neighbor, distance + rev_weights[position]
+                    neighbor, distance + edge_weights[position]
                 ):
                     tree_pushes += 1
                     height_bound[neighbor] = child_height
@@ -354,6 +370,7 @@ class CompactSDSTreeSearch:
         fwd_offsets = self._fwd_offsets
         fwd_endpoints = self._fwd_endpoints
         fwd_weights = self._fwd_weights
+        fwd_rows = self._fwd_rows
         counted_mask = self._counted_mask
         lcount = self._lcount
         lcount_stamps = self._lcount_stamps
@@ -404,19 +421,26 @@ class CompactSDSTreeSearch:
                 if counted_mask is None or counted_mask[node]:
                     tie_counted += 1
 
+            row = fwd_rows.get(node) if fwd_rows is not None else None
+            if row is None:
+                endpoints, edge_weights = fwd_endpoints, fwd_weights
+                start, stop = fwd_offsets[node], fwd_offsets[node + 1]
+            else:
+                endpoints, edge_weights = row
+                start, stop = 0, len(endpoints)
             if notified is None:
-                for position in range(fwd_offsets[node], fwd_offsets[node + 1]):
-                    neighbor = fwd_endpoints[position]
+                for position in range(start, stop):
+                    neighbor = endpoints[position]
                     if settled[neighbor] != settled_epoch:
                         heap_push_or_decrease(
-                            neighbor, distance + fwd_weights[position]
+                            neighbor, distance + edge_weights[position]
                         )
             else:
-                for position in range(fwd_offsets[node], fwd_offsets[node + 1]):
-                    neighbor = fwd_endpoints[position]
+                for position in range(start, stop):
+                    neighbor = endpoints[position]
                     if settled[neighbor] == settled_epoch:
                         continue
-                    candidate = distance + fwd_weights[position]
+                    candidate = distance + edge_weights[position]
                     heap_push_or_decrease(neighbor, candidate)
                     if candidate < radius and notified[neighbor] != notified_epoch:
                         notified[neighbor] = notified_epoch

@@ -454,3 +454,98 @@ def test_huge_tier_smoke_shares_graph_and_parallel_index():
     assert payload["algorithms"]["indexed@w2"]["graph_shared"] is True
     assert payload["parallel_index_consistent"] is True
     json.dumps(payload)
+
+
+# ----------------------------------------------------------------------
+# Mutation axis (--mutation-rate)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def mutation_result():
+    workload = gnp_workload(
+        num_nodes=24, avg_degree=4.0, seed=6, num_queries=4, k=3
+    )
+    return run_workload(workload, repetitions=2, warmup=0, mutation_rate=0.5)
+
+
+def test_mutation_axis_adds_mut_rows(mutation_result):
+    algorithms = mutation_result.algorithms
+    for name in ("dynamic", "indexed"):
+        row = algorithms[f"{name}@mut"]
+        assert row.validated is True
+        assert len(row.repetitions) == 2
+        # Every repetition applied at least one effective update, and
+        # the counts were cross-checked against the repro.obs counters.
+        assert row.updates_applied >= 2
+        assert row.csr_recompactions is not None
+        assert row.pool_graph_syncs is not None
+        assert row.mean_seconds is not None and row.mean_seconds >= 0
+    # Plain rows are untouched by the pass and carry no update fields.
+    assert algorithms["dynamic"].updates_applied is None
+    assert mutation_result.mutation_consistent is True
+
+
+def test_mutation_axis_report_fields(mutation_result):
+    report = build_report([mutation_result], config={"mutation_rate": 0.5})
+    (workload,) = report["workloads"]
+    assert workload["mutation_consistent"] is True
+    row = workload["algorithms"]["dynamic@mut"]
+    assert row["updates_applied"] >= 2
+    assert "csr_recompactions" in row
+    assert "pool_graph_syncs" in row
+    json.dumps(report)
+
+
+def test_mutation_axis_rejects_bad_rate_and_no_csr():
+    workload = gnp_workload(num_nodes=18, seed=2, num_queries=2, k=2)
+    with pytest.raises(WorkloadError):
+        run_workload(workload, repetitions=1, warmup=0, mutation_rate=-0.1)
+    with pytest.raises(WorkloadError):
+        run_workload(
+            workload, repetitions=1, warmup=0, use_csr=False,
+            mutation_rate=0.5,
+        )
+
+
+def test_mutation_axis_skips_bichromatic():
+    workload = build_suite(families=["bichromatic"], scale="smoke")[0]
+    result = run_workload(workload, repetitions=1, warmup=0, mutation_rate=0.5)
+    assert result.algorithms["dynamic@mut"].skipped
+    assert not result.algorithms["dynamic@mut"].repetitions
+    assert result.mutation_consistent is None
+
+
+def test_mutation_axis_with_workers_syncs_live_pool():
+    workload = gnp_workload(
+        num_nodes=24, avg_degree=4.0, seed=9, num_queries=4, k=3
+    )
+    result = run_workload(
+        workload, repetitions=1, warmup=0, workers=(1, 2), mutation_rate=0.5
+    )
+    assert result.mutation_consistent is True
+    for name in ("dynamic", "indexed"):
+        parallel = result.algorithms[f"{name}@mut@w2"]
+        assert parallel.workers == 2
+        assert parallel.validated is True
+        assert parallel.updates_applied >= 1
+    # The headline claim: across the pass, updates rode the in-place
+    # pool broadcast (a row after a threshold recompaction legitimately
+    # finds the pool closed, so the guarantee is pass-level).
+    mut_rows = [
+        timing for key, timing in result.algorithms.items() if "@mut" in key
+    ]
+    assert sum(row.pool_graph_syncs for row in mut_rows) >= 1
+
+
+def test_cli_mutation_rate(tmp_path):
+    output = tmp_path / "bench.json"
+    exit_code = bench_main(
+        ["--smoke", "--families", "gnp", "--mutation-rate", "0.5",
+         "--output", str(output), "--quiet"]
+    )
+    assert exit_code == 0
+    report = json.loads(output.read_text())
+    assert report["config"]["mutation_rate"] == 0.5
+    (workload,) = report["workloads"]
+    assert workload["mutation_consistent"] is True
+    assert "dynamic@mut" in workload["algorithms"]
+    assert "indexed@mut" in workload["algorithms"]

@@ -6,7 +6,12 @@ import json
 
 import pytest
 
-from repro.bench.diff import compare_reports, main, render_diff_table
+from repro.bench.diff import (
+    compare_reports,
+    main,
+    render_diff_table,
+    summarize_membership,
+)
 
 
 def make_report(workloads):
@@ -207,3 +212,61 @@ def test_main_exit_codes(tmp_path, capsys):
     assert main([str(old_path), str(new_path), "--tolerance", "10"]) == 0
     capsys.readouterr()
     assert main([str(old_path), str(new_path), "--tolerance", "-1"]) == 2
+
+
+def test_compare_fails_on_mutation_inconsistency():
+    old = make_report([make_workload("gnp", {"dynamic": (0.1, True)})])
+    bad = make_workload("gnp", {"dynamic": (0.1, True)})
+    bad["mutation_consistent"] = False
+    _, failures = compare_reports(old, make_report([bad]))
+    assert any("mutation_consistent is false" in line for line in failures)
+
+    # Absent (no mutation pass) or true never trips the gate.
+    ok = make_workload("gnp", {"dynamic": (0.1, True)})
+    ok["mutation_consistent"] = True
+    _, failures = compare_reports(old, make_report([ok]))
+    assert failures == []
+
+
+def test_summarize_membership_reports_explicit_changes():
+    old = make_report([
+        make_workload("gone", {"naive": (1.0, True)}),
+        make_workload("gnp", {"naive": (1.0, True), "dynamic": (0.4, True)}),
+    ])
+    new = make_report([
+        make_workload("gnp", {"naive": (1.0, True), "dynamic": (0.1, True),
+                              "dynamic@mut": (0.2, True)}),
+        make_workload("fresh", {"naive": (2.0, True)}),
+    ])
+    membership = summarize_membership(old, new)
+    assert membership["added_workloads"] == ["fresh"]
+    assert membership["removed_workloads"] == ["gone"]
+    # Row-level changes are tracked for shared workloads only (removed
+    # workloads already cover their rows).
+    assert membership["added_rows"] == ["gnp/dynamic@mut"]
+    assert membership["removed_rows"] == []
+
+
+def test_one_sided_mutation_rows_are_additions_not_regressions(tmp_path, capsys):
+    # A --mutation-rate run diffed against a plain baseline: every @mut
+    # row is one-sided.  The diff must report them as explicit additions
+    # under "suite changes" and exit 0.
+    old_path = tmp_path / "old.json"
+    new_path = tmp_path / "new.json"
+    old_path.write_text(json.dumps(
+        make_report([make_workload("gnp", {"dynamic": (0.10, True)})])
+    ))
+    new_path.write_text(json.dumps(
+        make_report([make_workload("gnp", {"dynamic": (0.10, True),
+                                           "dynamic@mut": (0.15, True)})])
+    ))
+    assert main([str(old_path), str(new_path)]) == 0
+    captured = capsys.readouterr()
+    assert "suite changes" in captured.out
+    assert "gnp/dynamic@mut" in captured.out
+
+    # Reversed direction: the @mut rows disappear — still not a failure,
+    # but reported as removals.
+    assert main([str(new_path), str(old_path)]) == 0
+    captured = capsys.readouterr()
+    assert "gnp/dynamic@mut" in captured.out

@@ -20,7 +20,7 @@ from repro import faults
 from repro.core import ReverseKRanksEngine
 from repro.serve import QueryServer, ServeClient, ServeConfig
 
-from conftest import sample_queries
+from conftest import _gnp_graph, sample_queries
 
 HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
 
@@ -156,5 +156,77 @@ def test_chaos_phases_serve_correctly_and_heal(random_gnp, reference):
         assert health["pool_active"] is True
         assert health["pool_alive"] == 2
         assert health["healthy"] is True
+
+    assert shm_segments() - shm_before == set()
+
+
+def test_chaos_worker_crash_during_graph_sync():
+    """A worker dying mid graph-broadcast degrades the sync, never the answers.
+
+    apply_updates ships the overlay side-table + repaired index to the
+    live pool; arming a crash on each worker's second task makes both
+    workers die exactly when that broadcast arrives.  The engine must
+    absorb the WorkerCrashError (drop the pool, report
+    ``pool_synced=False``), keep serving bit-identical sequential
+    answers, rebuild a healthy pool on the next parallel batch, and sync
+    the *next* update in place again once the chaos is gone.
+    """
+    shm_before = shm_segments()
+    graph = _gnp_graph(22, 0.2, seed=19, directed=False)
+    shadow = graph.copy()
+    engine = ReverseKRanksEngine(graph)
+    engine.build_index(num_hubs=3, capacity=8)
+    engine.parallel_min_batch = 1
+    queries = sorted(graph.nodes())[:6]
+
+    def check_against_fresh():
+        reference = ReverseKRanksEngine(shadow)
+        reference.compact_graph()
+        expected = reference.query_many(queries, 3, algorithm="dynamic")
+        actual = engine.query_many(queries, 3, algorithm="dynamic")
+        for want, got in zip(expected, actual):
+            assert got.as_pairs() == want.as_pairs(), want.query
+            left, right = want.stats.as_dict(), got.stats.as_dict()
+            left.pop("elapsed_seconds")
+            right.pop("elapsed_seconds")
+            assert left == right, want.query
+
+    with engine:
+        # Armed before the pool forks (workers inherit the failpoint
+        # table at spawn): task 1 per worker is the warm query shard,
+        # the graph broadcast is task 2 — both workers die holding it.
+        faults.configure("worker.before_task=crash#2", seed=11)
+        engine.query_many(
+            queries, 3, algorithm="dynamic", workers=2, worker_context="fork"
+        )
+        assert engine._pool is not None
+        edges = sorted(graph.edges())
+        report = engine.apply_updates(
+            [("remove_edge", edges[0][0], edges[0][1])]
+        )
+        shadow.remove_edge(edges[0][0], edges[0][1])
+        assert report.applied == 1
+        assert not report.pool_synced
+        assert engine._pool is None  # degraded, not wedged
+        faults.clear()
+        check_against_fresh()
+
+        # A fresh pool serves the mutated graph bit-identically...
+        parallel = engine.query_many(
+            queries, 3, algorithm="dynamic", workers=2, worker_context="fork"
+        )
+        sequential = engine.query_many(queries, 3, algorithm="dynamic")
+        assert [r.as_pairs() for r in parallel] == [
+            r.as_pairs() for r in sequential
+        ]
+        # ...and with the chaos gone the next update syncs in place.
+        pids = sorted(p.pid for p in engine._pool._processes)
+        report = engine.apply_updates(
+            [("add_edge", edges[1][0], edges[2][1], 0.7)]
+        )
+        shadow.add_edge(edges[1][0], edges[2][1], 0.7)
+        assert report.pool_synced
+        assert sorted(p.pid for p in engine._pool._processes) == pids
+        check_against_fresh()
 
     assert shm_segments() - shm_before == set()
